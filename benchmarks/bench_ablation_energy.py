@@ -1,0 +1,46 @@
+"""Energy ablation: what does throttling do to energy?
+
+The paper motivates heterogeneous CMPs with energy-efficient computing;
+this bench prices the baseline and the proposal on one amenable mix
+with the event-energy model.  Expected shape: the throttled GPU spends
+less energy per second (fewer LLC accesses and DRAM activates), and
+because a frame's *work* is unchanged, energy per frame stays in the
+same ballpark while the memory system's share drops."""
+
+from conftest import once, report
+
+from repro.analysis import experiments
+from repro.analysis.energy import price_run
+
+MIX = "M12"                           # COR: far above target
+
+
+def test_ablation_energy_of_throttling(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for pol in ("baseline", "throtcpuprio"):
+            r = experiments.hetero(MIX, pol, ablation_scale)
+            out[pol] = (r, price_run(r))
+        return out
+    res = once(benchmark, sweep)
+    lines = []
+    for pol, (r, rep) in res.items():
+        lines.append(
+            f"  {pol:13s} fps {r.fps:6.1f} | total {rep.total*1e3:7.3f} mJ"
+            f" | memory {rep.memory_system*1e3:7.3f} mJ"
+            f" | {rep.energy_per_frame(r.frames_rendered)*1e3:6.3f} "
+            f"mJ/frame")
+    report(f"Ablation: energy of throttling on {MIX} (scale={ablation_scale})",
+           "\n".join(lines))
+
+    base_r, base_e = res["baseline"]
+    prop_r, prop_e = res["throtcpuprio"]
+    # the throttled GPU renders fewer frames per second: the *power*
+    # (energy/second) of the memory system drops
+    base_mem_w = base_e.memory_system / base_e.run_seconds
+    prop_mem_w = prop_e.memory_system / prop_e.run_seconds
+    assert prop_mem_w < base_mem_w * 1.05
+    # and per-frame energy stays within a sane band (same work/frame)
+    base_pf = base_e.energy_per_frame(base_r.frames_rendered)
+    prop_pf = prop_e.energy_per_frame(prop_r.frames_rendered)
+    assert 0.5 * base_pf < prop_pf < 2.0 * base_pf

@@ -1,0 +1,72 @@
+"""Extension ablation: LLC-management alternatives the paper discusses.
+
+Section IV positions three LLC-policy families against the proposal:
+HeLM (bypass), TAP (TLP-aware insertion) and the dynamic
+reuse-probability policy (DRP, the authors' own ICS'16 work).  The
+paper's argument: *any* LLC-only scheme leaves DRAM bandwidth on the
+table, which is why access throttling wins.  This bench puts our
+TAP-lite and DRP-lite implementations next to HeLM and the proposal on
+one amenable mix, plus an LLC replacement-policy sanity sweep
+(SRRIP vs LRU baseline)."""
+
+from conftest import once, report
+
+from repro.analysis import experiments
+from repro.sim import runner
+
+
+MIX = "M11"                          # Quake4: above-target GPU
+
+
+def test_ablation_llc_management_policies(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for pol in ("baseline", "helm", "tap", "drp", "throtcpuprio"):
+            r = experiments.hetero(MIX, pol, ablation_scale)
+            ws = runner.weighted_speedup_for(r, ablation_scale)
+            out[pol] = (r.fps, ws)
+        return out
+    res = once(benchmark, sweep)
+    base_ws = res["baseline"][1]
+    lines = [f"  {p:13s} fps {fps:6.1f}  CPU ws {ws/base_ws:.3f}x"
+             for p, (fps, ws) in res.items()]
+    report(f"Ablation: LLC-management policies on {MIX} "
+           f"(scale={ablation_scale})", "\n".join(lines))
+    # the paper's claim: LLC-only schemes trail the throttling proposal
+    for pol in ("helm", "tap", "drp"):
+        assert res["throtcpuprio"][1] >= res[pol][1] - 0.05 * base_ws, \
+            (pol, res)
+    # and none of them controls the frame rate the way the ATU does:
+    # the proposal lands near the 40 FPS target, the LLC schemes do not
+    # move the GPU anywhere near it
+    assert res["throtcpuprio"][0] < res["baseline"][0]
+    for pol in ("helm", "tap", "drp"):
+        assert res[pol][0] > 0.8 * res["baseline"][0], (pol, res)
+
+
+def test_ablation_llc_replacement_policy(benchmark, ablation_scale):
+    """SRRIP (Table I) vs plain LRU at the shared LLC."""
+    from dataclasses import replace
+    from repro.config import default_config
+    from repro.mixes import MIXES_M
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    def sweep():
+        out = {}
+        for policy in ("srrip", "lru"):
+            cfg = default_config(scale=ablation_scale, n_cpus=4)
+            cfg = replace(cfg, llc=replace(cfg.llc, policy=policy))
+            s = HeterogeneousSystem(cfg, MIXES_M[MIX]).run()
+            r = collect(s)
+            out[policy] = (r.fps, r.cpu_llc_misses, r.gpu_llc_misses)
+        return out
+    res = once(benchmark, sweep)
+    lines = [f"  {p:6s} fps {fps:6.1f}  cpu misses {cm:,}  "
+             f"gpu misses {gm:,}" for p, (fps, cm, gm) in res.items()]
+    report(f"Ablation: LLC replacement policy (scale={ablation_scale})",
+           "\n".join(lines))
+    # both complete and produce comparable behaviour (SRRIP is a
+    # scan-resistance refinement, not a different regime)
+    for p, (fps, cm, gm) in res.items():
+        assert fps > 0 and cm > 0 and gm > 0

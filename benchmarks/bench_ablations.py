@@ -1,0 +1,123 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* QoS target sweep (30/40/50 FPS): lower targets free more CPU.
+* RTP table size (the paper's 64 entries vs tiny tables).
+* W_G step size: coarser steps quantise the throttle harder.
+* Throttle-correction in the FRPU (our stabilisation) vs raw Fig. 6.
+* CM-BAL: why shader-core throttling cannot control frame rate
+  (Section IV's three reasons).
+"""
+
+from conftest import once, report
+
+from repro.config import default_config
+from repro.mixes import MIXES_M
+from repro.policies.throttle import ThrottlePolicy
+from repro.analysis import experiments
+from repro.sim.system import HeterogeneousSystem
+
+MIX = "M7"                            # DOOM3: comfortably above target
+
+
+def _run(policy, scale, **cfg_kw):
+    cfg = default_config(scale=scale, n_cpus=4, **cfg_kw)
+    system = HeterogeneousSystem(cfg, MIXES_M[MIX], policy)
+    system.run()
+    return system
+
+
+def test_ablation_qos_target_sweep(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for target in (30.0, 40.0, 50.0):
+            pol = ThrottlePolicy(cpu_priority=True, target_fps=target)
+            s = _run(pol, ablation_scale)
+            out[target] = s.gpu_fps()
+        return out
+    fps = once(benchmark, sweep)
+    report(f"Ablation: QoS target sweep (scale={ablation_scale})", "\n".join(
+        f"  target {t:4.0f} FPS -> delivered {f:6.1f}"
+        for t, f in fps.items()))
+    # a lower target must throttle at least as hard
+    assert fps[30.0] <= fps[50.0] + 3.0
+
+
+def test_ablation_rtp_table_size(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for entries in (4, 64):
+            cfg = default_config(scale=ablation_scale, n_cpus=4) \
+                .with_qos(rtp_table_entries=entries)
+            pol = ThrottlePolicy(cpu_priority=True)
+            s = HeterogeneousSystem(cfg, MIXES_M[MIX], pol)
+            s.run()
+            out[entries] = (s.gpu_fps(), pol.qos.frpu.frames_predicted)
+        return out
+    res = once(benchmark, sweep)
+    report(f"Ablation: RTP table size (scale={ablation_scale})", "\n".join(
+        f"  {e:3d}-entry RTP table -> {fps:6.1f} FPS, {n} frames "
+        f"predicted" for e, (fps, n) in res.items()))
+    # even a tiny table keeps the mechanism functional (overflow entry
+    # accumulates), as the paper's design intends
+    for entries, (fps, predicted) in res.items():
+        assert predicted >= 1
+        assert fps > 20.0
+
+
+def test_ablation_wg_step(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for step in (2, 16):
+            cfg = default_config(scale=ablation_scale, n_cpus=4) \
+                .with_qos(wg_step=step)
+            pol = ThrottlePolicy(cpu_priority=True)
+            s = HeterogeneousSystem(cfg, MIXES_M[MIX], pol)
+            s.run()
+            out[step] = s.gpu_fps()
+        return out
+    fps = once(benchmark, sweep)
+    report(f"Ablation: W_G step (scale={ablation_scale})", "\n".join(
+        f"  W_G step {st:2d} ticks -> {f:6.1f} FPS"
+        for st, f in fps.items()))
+    # coarser quantisation floors harder -> throttles no harder than
+    # fine steps by more than the quantisation allows
+    assert fps[16] >= fps[2] - 5.0
+
+
+def test_ablation_throttle_correction(benchmark, ablation_scale):
+    def sweep():
+        out = {}
+        for corrected in (True, False):
+            pol = ThrottlePolicy(cpu_priority=True,
+                                 correct_throttle=corrected)
+            s = _run(pol, ablation_scale)
+            out[corrected] = (s.gpu_fps(),
+                              pol.qos.stats.get("throttle_deactivations"))
+        return out
+    res = once(benchmark, sweep)
+    report(f"Ablation: throttle correction (scale={ablation_scale})", "\n".join(
+        f"  {('natural-CP (ours)' if c else 'raw Fig. 6'):18s} -> "
+        f"{fps:6.1f} FPS, {d} throttle deactivations"
+        for c, (fps, d) in res.items()))
+    # raw mode oscillates (throttle keeps switching off when the
+    # throttled estimate crosses the target); the corrected mode is
+    # steadier — at least as few deactivations
+    assert res[True][1] <= res[False][1] + 2
+
+
+def test_ablation_cmbal_vs_atu(benchmark, ablation_scale):
+    """Section IV: CM-BAL gates only texture traffic (~25% of GPU LLC
+    accesses) and only a fraction of it, so it cannot pull the frame
+    rate down to target the way the collective ATU gate can."""
+    def sweep():
+        base = experiments.hetero(MIX, "baseline", ablation_scale)
+        cm = experiments.hetero(MIX, "cm-bal", ablation_scale)
+        atu = experiments.hetero(MIX, "throtcpuprio", ablation_scale)
+        return base.fps, cm.fps, atu.fps
+    base, cm, atu = once(benchmark, sweep)
+    report(f"Ablation: CM-BAL vs ATU (scale={ablation_scale})",
+           f"  baseline {base:6.1f} FPS | CM-BAL {cm:6.1f} | "
+           f"ATU (proposal) {atu:6.1f}")
+    # CM-BAL moves the FPS far less than the ATU does
+    assert abs(cm - base) < abs(atu - base) + 3.0
+    assert atu < base

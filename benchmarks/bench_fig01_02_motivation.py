@@ -1,0 +1,47 @@
+"""Figs. 1-2: heterogeneous vs standalone performance, and GPU FPS
+against the 30 FPS satisfaction line (the Section II motivation)."""
+
+from conftest import once, report, subset
+
+from repro.analysis import experiments
+from repro.mixes import MIXES_W
+
+
+def _w_names(full):
+    return subset(sorted(MIXES_W, key=lambda n: int(n[1:])), full, k=4)
+
+
+def test_fig1_mutual_degradation(benchmark, scale, full):
+    names = _w_names(full)
+    data = once(benchmark, experiments.fig1, scale=scale, mixes=names)
+    lines = [f"{'mix':5s} {'CPU norm':>9s} {'GPU norm':>9s}"]
+    for n in names:
+        lines.append(f"{n:5s} {data['cpu'][n]:9.2f} {data['gpu'][n]:9.2f}")
+    lines.append(f"GMEAN  cpu={data['gmean_cpu']:.2f} "
+                 f"gpu={data['gmean_gpu']:.2f}  (paper: ~0.78 both)")
+    report(f"Fig. 1 (scale={scale})", "\n".join(lines))
+    # shape: both sides lose on average in heterogeneous execution
+    assert data["gmean_cpu"] < 0.95
+    assert data["gmean_gpu"] < 0.99
+    # and neither side collapses entirely
+    assert data["gmean_cpu"] > 0.2
+    assert data["gmean_gpu"] > 0.5
+
+
+def test_fig2_fps_standalone_vs_heterogeneous(benchmark, scale, full):
+    names = _w_names(full)
+    data = once(benchmark, experiments.fig2, scale=scale, mixes=names)
+    lines = [f"{'mix':5s} {'game':14s} {'alone':>7s} {'hetero':>7s}"]
+    above_30 = 0
+    for n in names:
+        g = data["games"][n]
+        alone = data["standalone"][n]
+        het = data["heterogeneous"][n]
+        lines.append(f"{n:5s} {g:14s} {alone:7.1f} {het:7.1f}")
+        assert het <= alone * 1.15        # hetero never speeds the GPU up
+        if het > data["reference_fps"]:
+            above_30 += 1
+    report(f"Fig. 2 (scale={scale}; 30 FPS reference)", "\n".join(lines))
+    # paper: several GPU applications stay comfortably above 30 FPS
+    # even in heterogeneous mode — the throttling opportunity
+    assert above_30 >= 1

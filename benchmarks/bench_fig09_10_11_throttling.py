@@ -1,0 +1,96 @@
+"""Figs. 9-11: the proposal on the six throttle-amenable mixes.
+
+Fig. 9 — FPS lands just around the 40 FPS target; CPU weighted speedup
+improves (paper: +11% throttle-only, +18% with the CPU priority boost).
+Fig. 10 — GPU LLC misses rise (faster aging), CPU LLC misses fall.
+Fig. 11 — GPU DRAM bandwidth demand falls substantially.
+
+The three figures share the same three runs per mix (memoised)."""
+
+from conftest import once, report, subset
+
+from repro.analysis import experiments
+from repro.mixes import HIGH_FPS_MIXES, MIXES_M
+
+
+def _names(full):
+    if full:
+        return list(HIGH_FPS_MIXES)
+    # representative subset: the three games with the most slack above
+    # the 40 FPS target (DOOM3 81, COR 111, UT2004 131 nominal) — the
+    # regime Figs. 9-11 are about.  NFS (62) and HL2 (76) sit closer to
+    # the target and throttle only lightly; REPRO_BENCH_FULL=1 includes
+    # them.
+    return ["M7", "M12", "M13"]
+
+
+def test_fig9_fps_and_weighted_speedup(benchmark, scale, full):
+    names = _names(full)
+    data = once(benchmark, experiments.fig9, scale=scale, mixes=names)
+    lines = [f"{'game':10s} {'base':>7s} {'throt':>7s} {'+prio':>7s}"]
+    for n in names:
+        g = MIXES_M[n].gpu_app
+        b = data["fps"]["baseline"][g]
+        t = data["fps"]["throttle"][g]
+        p = data["fps"]["throtcpuprio"][g]
+        lines.append(f"{g:10s} {b:7.1f} {t:7.1f} {p:7.1f}")
+        # shape: baseline at/above the target; throttling pulls any
+        # comfortable slack down toward it but never below the visual
+        # floor.  A baseline already sitting at ~target has no slack,
+        # so equality is legitimate there.
+        assert b > 35.0
+        assert 30.0 < t <= b * 1.05
+        assert 30.0 < p <= b * 1.05
+        if b > 48.0:                  # comfortable slack: must be used
+            assert t < b * 0.95
+    ws_t = data["gmean_ws"]["throttle"]
+    ws_p = data["gmean_ws"]["throtcpuprio"]
+    lines.append(f"CPU weighted speedup: throttle {ws_t:.3f}, "
+                 f"+CPU priority {ws_p:.3f}  (paper: 1.11 / 1.18)")
+    report(f"Fig. 9 (scale={scale})", "\n".join(lines))
+    # throttling frees CPU performance on average (allow a whisker of
+    # noise on the subset)
+    assert ws_t > 0.99
+    assert ws_p > 0.99
+    assert ws_p >= ws_t * 0.95        # the boost should not hurt
+
+
+def test_fig10_llc_miss_shift(benchmark, scale, full):
+    names = _names(full)
+    data = once(benchmark, experiments.fig10, scale=scale, mixes=names)
+    g_t = data["mean_gpu"]["throttle"]
+    g_p = data["mean_gpu"]["throtcpuprio"]
+    c_t = data["mean_cpu"]["throttle"]
+    c_p = data["mean_cpu"]["throtcpuprio"]
+    report(f"Fig. 10 (scale={scale})",
+           f"GPU LLC misses/frame vs baseline: throttle {g_t:.2f}, "
+           f"+prio {g_p:.2f}  (paper: 1.39 / 1.42)\n"
+           f"CPU LLC misses vs baseline:       throttle {c_t:.2f}, "
+           f"+prio {c_p:.2f}  (paper: 0.96 / 0.955)")
+    # shape: throttling ages GPU lines faster -> GPU misses up (mixes
+    # with little slack may barely throttle, hence the whisker);
+    # the freed capacity turns into CPU misses down (or at worst flat)
+    assert g_t > 0.98
+    assert c_t < 1.08
+    assert c_p < 1.08
+
+
+def test_fig11_gpu_dram_bandwidth(benchmark, scale, full):
+    names = _names(full)
+    data = once(benchmark, experiments.fig11, scale=scale, mixes=names)
+    lines = []
+    for n in names:
+        g = MIXES_M[n].gpu_app
+        d = data["bandwidth"]["throttle"][g]
+        lines.append(
+            f"{g:10s} read {d['baseline_read']:.2f}->{d['read']:.2f} "
+            f"write {d['baseline_write']:.2f}->{d['write']:.2f} "
+            f"total {d['total']:.2f}")
+    m_t = data["mean_total_norm"]["throttle"]
+    m_p = data["mean_total_norm"]["throtcpuprio"]
+    lines.append(f"mean GPU bandwidth vs baseline: throttle {m_t:.2f}, "
+                 f"+prio {m_p:.2f}  (paper: 0.65 / 0.63)")
+    report(f"Fig. 11 (scale={scale})", "\n".join(lines))
+    # shape: throttling sheds a meaningful share of GPU DRAM demand
+    assert m_t < 0.95
+    assert m_p < 0.95

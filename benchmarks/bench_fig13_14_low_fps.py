@@ -1,0 +1,56 @@
+"""Figs. 13-14: the policies on the mixes whose GPU misses the target.
+
+The proposal must stay disabled (= baseline).  SMS trades large GPU FPS
+losses for small CPU gains; DynPrio tracks baseline; HeLM loses GPU FPS
+to bypass-induced DRAM pressure.  Fig. 14 folds both sides into an
+equal-weight combined metric where the proposal and DynPrio sit at
+baseline and SMS clearly loses."""
+
+from conftest import once, report, subset
+
+from repro.analysis import experiments
+from repro.mixes import LOW_FPS_MIXES
+
+
+def _names(full):
+    if full:
+        return list(LOW_FPS_MIXES)
+    # representative subset: L4D (32.5 FPS) and UT3 (26.8) — below the
+    # target like all eight, but with frame times short enough for the
+    # bench to sweep six policies in reasonable wall time; the
+    # heavyweight 6-FPS titles are included with REPRO_BENCH_FULL=1
+    return ["M9", "M14"]
+
+
+def test_fig13_policy_comparison_low_fps(benchmark, scale, full):
+    names = _names(full)
+    data = once(benchmark, experiments.fig13, scale=scale, mixes=names)
+    pols = experiments.COMPARED_POLICIES
+    lines = ["normalised FPS / CPU weighted speedup (gmean):"]
+    for p in pols:
+        lines.append(f"  {p:13s} fps {data['gmean_fps'][p]:.3f}  "
+                     f"ws {data['gmean_ws'][p]:.3f}")
+    report(f"Fig. 13 (scale={scale})", "\n".join(lines))
+
+    f = data["gmean_fps"]
+    ws = data["gmean_ws"]
+    # the proposal never engages below target: ~= baseline on both axes
+    assert abs(f["throtcpuprio"] - 1.0) < 0.15
+    assert abs(ws["throtcpuprio"] - 1.0) < 0.15
+    # SMS pays GPU FPS (the paper's "large losses")
+    assert f["sms-0.9"] < 0.9
+    # and the proposal keeps more GPU FPS than SMS here
+    assert f["throtcpuprio"] > f["sms-0.9"]
+
+
+def test_fig14_combined_performance(benchmark, scale, full):
+    names = _names(full)
+    data = once(benchmark, experiments.fig14, scale=scale, mixes=names)
+    pols = experiments.COMPARED_POLICIES
+    lines = [f"  {p:13s} combined {data['gmean'][p]:.3f}" for p in pols]
+    report(f"Fig. 14 (scale={scale})", "\n".join(lines))
+    g = data["gmean"]
+    # paper: proposal ~ baseline (1.0), SMS suffers large losses
+    assert abs(g["throtcpuprio"] - 1.0) < 0.15
+    assert g["sms-0.9"] < g["throtcpuprio"]
+    assert g["sms-0"] < 1.0

@@ -1,0 +1,71 @@
+"""Shared fixtures for the table/figure regeneration benches.
+
+Scale selection: ``REPRO_BENCH_SCALE`` (default ``test``; ``smoke`` for
+a fast-but-noisy pass, ``bench``/``paper`` for higher fidelity).  Mix
+subsetting: ``REPRO_BENCH_FULL=1`` runs every mix a figure uses; the
+default covers a representative subset per figure.
+
+Heterogeneous and standalone runs are memoised inside
+:mod:`repro.analysis.experiments` / :mod:`repro.sim.runner`, so benches
+that share runs (Figs. 9-11, 12-14) do not repeat them.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    # "test" reproduces the paper's shapes reliably; REPRO_BENCH_SCALE=
+    # smoke gives a fast-but-noisy pass, bench/paper higher fidelity
+    return os.environ.get("REPRO_BENCH_SCALE", "test")
+
+
+@pytest.fixture(scope="session")
+def full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def ablation_scale() -> str:
+    """The ablation benches sweep many configurations; they run at a
+    lighter default scale (their comparisons are config-vs-config at
+    identical scale, so the smaller preset suffices).  Override with
+    REPRO_BENCH_ABLATION_SCALE."""
+    return os.environ.get("REPRO_BENCH_ABLATION_SCALE", "smoke")
+
+
+def subset(names: list[str], full: bool, k: int = 3) -> list[str]:
+    """A deterministic representative subset of a figure's mixes."""
+    if full or len(names) <= k:
+        return list(names)
+    step = max(len(names) // k, 1)
+    return names[::step][:k]
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """pytest-benchmark wrapper for long experiment functions: measure a
+    single round (these are minutes-long simulations, not microbenches)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    # one results.txt per bench session
+    open(_RESULTS_PATH, "w", encoding="utf-8").close()
+    yield
+
+
+def report(title: str, text: str) -> None:
+    """Record a regenerated series: prints (visible with ``-s`` / on
+    failure) and appends to ``benchmarks/results.txt`` so the series
+    survive pytest's output capture."""
+    block = f"\n===== {title} =====\n{text}\n"
+    print(block)
+    with open(_RESULTS_PATH, "a", encoding="utf-8") as fh:
+        fh.write(block)

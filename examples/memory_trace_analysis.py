@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Record, analyse, and replay a heterogeneous run's LLC traffic.
+
+Demonstrates the trace workflow (the in-library analogue of the paper's
+API-trace methodology) and the event-energy model:
+
+1. run a mix with a :class:`~repro.tracing.TraceRecorder` attached;
+2. summarise who produced the LLC traffic and price the run's energy;
+3. replay only the *GPU's* recorded stream against a fresh LLC+DRAM to
+   measure its isolated bandwidth footprint at two replay speeds.
+
+    python examples/memory_trace_analysis.py [--mix M12]
+"""
+
+import argparse
+
+from repro.analysis.energy import price_run
+from repro.config import LlcConfig, default_config
+from repro.mem.llc import SharedLLC
+from repro.mixes import MIXES_M
+from repro.sim.engine import Simulator
+from repro.sim.metrics import collect
+from repro.sim.system import HeterogeneousSystem
+from repro.tracing import TraceRecorder, TraceReplayer
+
+
+def replay_gpu(trace, time_scale: float) -> dict:
+    """Replay the GPU stream open-loop against a fresh LLC + fake DRAM."""
+    sim = Simulator()
+    served = {"reads": 0}
+
+    def dram(req):
+        if not req.is_write:
+            served["reads"] += 1
+            sim.after(80, req.complete)
+    llc = SharedLLC(sim, LlcConfig(size_bytes=1024 * 1024),
+                    dram_send=dram)
+    rep = TraceReplayer(sim, trace, llc.access, time_scale=time_scale)
+    rep.start()
+    sim.run()
+    return {"span_ticks": sim.now, "dram_reads": served["reads"],
+            "llc_hit_rate": 1 - (llc.stats.get("gpu_misses") /
+                                 max(llc.stats.get("gpu_accesses"), 1))}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mix", default="M12")
+    ap.add_argument("--scale", default="smoke",
+                    choices=["smoke", "test", "bench", "paper"])
+    args = ap.parse_args()
+
+    cfg = default_config(scale=args.scale, n_cpus=4)
+    system = HeterogeneousSystem(cfg, MIXES_M[args.mix])
+    rec = TraceRecorder.attach(system)
+    system.run()
+    trace = rec.trace()
+
+    print(f"{args.mix}: recorded {len(trace):,} LLC requests")
+    for k, v in trace.summary().items():
+        print(f"  {k}: {v}")
+
+    report = price_run(collect(system))
+    print(f"energy: total {report.total*1e3:.2f} mJ, memory system "
+          f"{report.memory_system*1e3:.2f} mJ "
+          f"({report.memory_system/report.total:.0%})")
+
+    gpu = trace.filter_source("gpu")
+    print(f"\nreplaying the GPU's {len(gpu):,} requests in isolation:")
+    for scale_f in (1.0, 2.0):
+        r = replay_gpu(gpu, scale_f)
+        label = "recorded pace" if scale_f == 1.0 else \
+            f"{scale_f:g}x slower (throttled pace)"
+        print(f"  {label:28s} span {r['span_ticks']:>10,} ticks, "
+              f"DRAM reads {r['dram_reads']:,}, LLC hit rate "
+              f"{r['llc_hit_rate']:.0%}")
+    print("\nSlowing the same stream stretches it over more time — the "
+          "per-tick DRAM demand falls, which is exactly the bandwidth "
+          "the paper's throttle hands back to the CPUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Fold benchmarks/results.txt into EXPERIMENTS.md.
+
+Replaces everything between the ``<!-- BENCH-RESULTS -->`` marker and
+the next ``##`` heading with the latest recorded series.
+
+    python scripts/update_experiments.py
+"""
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+MARKER = "<!-- BENCH-RESULTS -->"
+
+
+def main() -> None:
+    results = (ROOT / "benchmarks" / "results.txt")
+    exps = ROOT / "EXPERIMENTS.md"
+    if not results.exists():
+        raise SystemExit("no benchmarks/results.txt — run "
+                         "`pytest benchmarks/ --benchmark-only` first")
+    series = results.read_text().strip()
+    text = exps.read_text()
+    if MARKER not in text:
+        raise SystemExit(f"{MARKER} marker missing from EXPERIMENTS.md")
+    head, rest = text.split(MARKER, 1)
+    # keep whatever follows the next second-level heading
+    tail_idx = rest.find("\n## ")
+    tail = rest[tail_idx:] if tail_idx != -1 else ""
+    block = f"{MARKER}\n\n```\n{series}\n```\n"
+    exps.write_text(head + block + tail)
+    print(f"EXPERIMENTS.md updated with "
+          f"{series.count('=====') // 2} recorded series")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+import time, sys
+from repro.gpu.workloads import GAME_ORDER
+from repro.sim import runner
+
+for game in GAME_ORDER:
+    t0 = time.time()
+    r = runner.standalone_gpu(game, scale='test')
+    from repro.gpu.workloads import workload_for
+    w = workload_for(game)
+    ratio = r.fps / w.fps_nominal
+    acc = r.llc["gpu_accesses"]/r.ticks
+    miss = r.llc["gpu_misses"]/r.ticks
+    print(f'{game:14s} fps={r.fps:7.1f} nom={w.fps_nominal:6.1f} ratio={ratio:5.2f} '
+          f'acc/t={acc:.3f} miss/t={miss:.3f} stalls={r.gpu_stats["mshr_stalls"]:6d} '
+          f'tex={r.gpu_texture_share:.2f} dt={time.time()-t0:4.1f}s')

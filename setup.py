@@ -1,0 +1,15 @@
+"""Legacy setuptools shim for offline editable installs (see pyproject)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of 'Improving CPU Performance through "
+                 "Dynamic GPU Access Throttling in CPU-GPU Heterogeneous "
+                 "Processors' (IPDPSW 2017)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

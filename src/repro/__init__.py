@@ -1,0 +1,51 @@
+"""repro — reproduction of Rai & Chaudhuri, "Improving CPU Performance
+through Dynamic GPU Access Throttling in CPU-GPU Heterogeneous
+Processors" (IPDPSW 2017).
+
+Public API
+----------
+``default_config`` / ``SystemConfig`` — the Table I machine.
+``mix`` / ``MIXES_M`` / ``MIXES_W`` — the Table III workload mixes.
+``run_mix`` / ``run_system`` / ``standalone_cpu`` / ``standalone_gpu`` —
+experiment runners returning :class:`RunResult`.
+``make_policy`` — "baseline", "sms-0.9", "sms-0", "dynprio", "helm",
+"cm-bal", "throttle", "throtcpuprio" (the proposal).
+``QoSController`` / ``FrameRatePredictor`` / ``AccessThrottlingUnit`` —
+the paper's mechanism, usable standalone.
+"""
+
+from repro.config import (SystemConfig, Scale, SCALES, default_config,
+                          CPU_CLOCK_HZ, GPU_CLOCK_HZ)
+from repro.mixes import Mix, MIXES_M, MIXES_W, HIGH_FPS_MIXES, \
+    LOW_FPS_MIXES, mix
+from repro.core import (QoSController, FrameRatePredictor,
+                        AccessThrottlingUnit, RtpInfoTable)
+from repro.policies import make_policy, POLICY_NAMES
+from repro.sim.metrics import RunResult, weighted_speedup, geomean, \
+    combined_performance
+from repro.sim.runner import (run_mix, run_system, standalone_cpu,
+                              standalone_gpu, alone_ipcs,
+                              weighted_speedup_for)
+from repro.sim.system import HeterogeneousSystem
+from repro.analysis.diagnostics import Probe
+from repro.analysis.energy import EnergyParams, EnergyReport, price_run
+from repro.analysis.stats import Replicated, replicate, summarize
+from repro.tracing import LlcTrace, TraceRecorder, TraceReplayer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig", "Scale", "SCALES", "default_config",
+    "CPU_CLOCK_HZ", "GPU_CLOCK_HZ",
+    "Mix", "MIXES_M", "MIXES_W", "HIGH_FPS_MIXES", "LOW_FPS_MIXES", "mix",
+    "QoSController", "FrameRatePredictor", "AccessThrottlingUnit",
+    "RtpInfoTable",
+    "make_policy", "POLICY_NAMES",
+    "RunResult", "weighted_speedup", "geomean", "combined_performance",
+    "run_mix", "run_system", "standalone_cpu", "standalone_gpu",
+    "alone_ipcs", "weighted_speedup_for", "HeterogeneousSystem",
+    "Probe", "EnergyParams", "EnergyReport", "price_run",
+    "Replicated", "replicate", "summarize",
+    "LlcTrace", "TraceRecorder", "TraceReplayer",
+    "__version__",
+]

@@ -1,0 +1,187 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro run --mix M7 --policy throtcpuprio --scale test
+    python -m repro standalone --game DOOM3 --scale smoke
+    python -m repro standalone --spec 429
+    python -m repro compare --mix M7 --policies baseline,throtcpuprio
+    python -m repro list
+    python -m repro report --experiment fig9 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import (MIXES_M, MIXES_W, POLICY_NAMES, mix, run_mix,
+                   standalone_cpu, standalone_gpu, weighted_speedup_for)
+from repro.cpu.spec import SPEC_PROFILES
+from repro.gpu.workloads import GAME_ORDER, workload_for
+
+
+def _print_result(r, scale: str) -> None:
+    print(f"mix={r.mix_name} policy={r.policy_name} scale={r.scale_name}")
+    print(f"  simulated ticks: {r.ticks:,}")
+    if r.gpu_app:
+        print(f"  GPU {r.gpu_app}: {r.fps:.1f} FPS over "
+              f"{r.frames_rendered} frames "
+              f"(texture share {r.gpu_texture_share:.0%})")
+    if r.cpu_apps:
+        ipcs = " ".join(f"{sid}:{r.cpu_ipcs[i]:.2f}"
+                        for i, sid in enumerate(r.cpu_apps))
+        print(f"  CPU IPCs: {ipcs}")
+        ws = weighted_speedup_for(r, scale)
+        print(f"  weighted speedup vs standalone: {ws:.3f}")
+    print(f"  LLC: cpu misses {r.cpu_llc_misses:,}, "
+          f"gpu misses {r.gpu_llc_misses:,}")
+    print(f"  DRAM: gpu {r.gpu_dram_bytes/1e6:.1f} MB, cpu "
+          f"{(r.dram_cpu_read_bytes + r.dram_cpu_write_bytes)/1e6:.1f} MB,"
+          f" row-hit rate {r.dram_row_hit_rate:.0%}")
+    if r.qos:
+        print(f"  QoS: {r.qos}")
+    if r.frpu_errors:
+        mean_abs = sum(abs(e) for e in r.frpu_errors) / len(r.frpu_errors)
+        print(f"  FRPU mean |error|: {mean_abs:.2f}%")
+
+
+def cmd_run(args) -> int:
+    t0 = time.time()
+    r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed)
+    _print_result(r, args.scale)
+    print(f"  wall time: {time.time()-t0:.1f}s")
+    return 0
+
+
+def cmd_standalone(args) -> int:
+    if args.game:
+        r = standalone_gpu(args.game, args.scale, args.seed)
+        w = workload_for(args.game)
+        print(f"{args.game}: {r.fps:.1f} FPS measured "
+              f"(Table II: {w.fps_nominal})")
+    elif args.spec:
+        r = standalone_cpu(args.spec, args.scale, args.seed)
+        print(f"SPEC {args.spec}: IPC {r.cpu_ipcs[0]:.3f}, "
+              f"LLC accesses {r.llc['cpu_accesses']:,}")
+    else:
+        print("need --game or --spec", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_compare(args) -> int:
+    policies = args.policies.split(",")
+    base_ws = None
+    print(f"{'policy':14s} {'GPU FPS':>8s} {'CPU WS':>8s} {'vs base':>8s}")
+    for pol in policies:
+        r = run_mix(args.mix, pol, scale=args.scale, seed=args.seed)
+        ws = weighted_speedup_for(r, args.scale) if r.cpu_apps else 0.0
+        if base_ws is None:
+            base_ws = ws
+        rel = ws / base_ws if base_ws else 1.0
+        print(f"{pol:14s} {r.fps:8.1f} {ws:8.3f} {rel:8.3f}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("GPU applications (Table II):")
+    for g in GAME_ORDER:
+        w = workload_for(g)
+        print(f"  {g:14s} {w.api:3s} {w.resolution} "
+              f"{w.fps_nominal:6.1f} FPS")
+    print("SPEC CPU 2006 profiles:")
+    for sid in sorted(SPEC_PROFILES):
+        print(f"  {sid} {SPEC_PROFILES[sid].name}")
+    print("Mixes: " + " ".join(sorted(MIXES_M, key=lambda n: int(n[1:])))
+          + " / " + " ".join(sorted(MIXES_W, key=lambda n: int(n[1:]))))
+    print("Policies: " + " ".join(POLICY_NAMES))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import main as report_main
+    return report_main(["--experiment", args.experiment,
+                        "--scale", args.scale, "--seed", str(args.seed)])
+
+
+def cmd_trace(args) -> int:
+    """Record a mix's LLC traffic to an .npz trace."""
+    from repro.config import default_config
+    from repro.sim.system import HeterogeneousSystem
+    from repro.tracing import TraceRecorder
+    m = mix(args.mix)
+    cfg = default_config(scale=args.scale, n_cpus=m.n_cpus,
+                         seed=args.seed)
+    system = HeterogeneousSystem(cfg, m)
+    rec = TraceRecorder.attach(system)
+    system.run()
+    rec.save(args.out)
+    tr = rec.trace()
+    print(f"recorded {len(tr):,} LLC requests over "
+          f"{tr.summary()['span_ticks']:,} ticks -> {args.out}")
+    for k, v in tr.summary().items():
+        print(f"  {k}: {v}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """QoS-target sweep on one mix (the headline ablation)."""
+    from repro.analysis.sweep import sweep, vary_qos
+    targets = [float(x) for x in args.targets.split(",")]
+    rows = sweep(args.mix, policy="throtcpuprio", scale=args.scale,
+                 seed=args.seed, variations=vary_qos(target_fps=targets))
+    for row in rows:
+        print(f"  {row.label:18s} -> GPU {row.result.fps:6.1f} FPS")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("run", help="run one mix under one policy")
+    p.add_argument("--mix", default="M7")
+    p.add_argument("--policy", default="throtcpuprio")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("standalone", help="run one app alone")
+    p.add_argument("--game")
+    p.add_argument("--spec", type=int)
+    p.set_defaults(fn=cmd_standalone)
+
+    p = sub.add_parser("compare", help="compare policies on one mix")
+    p.add_argument("--mix", default="M7")
+    p.add_argument("--policies",
+                   default="baseline,dynprio,helm,throtcpuprio")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("list", help="list workloads, mixes, policies")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("report", help="regenerate a table/figure")
+    p.add_argument("--experiment", default="all")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("trace", help="record a mix's LLC traffic")
+    p.add_argument("--mix", default="M7")
+    p.add_argument("--out", default="trace.npz")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("sweep", help="QoS-target sweep on one mix")
+    p.add_argument("--mix", default="M7")
+    p.add_argument("--targets", default="30,40,50")
+    p.set_defaults(fn=cmd_sweep)
+
+    for sp in sub.choices.values():
+        sp.add_argument("--scale", default="smoke",
+                        choices=["smoke", "test", "bench", "paper"])
+        sp.add_argument("--seed", type=int, default=1)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,10 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Import the submodules directly (``repro.analysis.experiments``,
+``repro.analysis.tables``); ``repro.analysis.report`` is also a CLI:
+``python -m repro.analysis.report --experiment fig9 --scale test``.
+"""
+
+from repro.analysis import experiments, tables
+
+__all__ = ["experiments", "tables"]

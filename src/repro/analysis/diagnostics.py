@@ -1,0 +1,87 @@
+"""Run diagnostics: time-series probes over a live system.
+
+A :class:`Probe` samples the machine at a fixed tick interval and
+collects time series (DRAM queue depths, bandwidth, LLC occupancy by
+side, GPU progress, throttle state).  Attach before ``run()``::
+
+    system = HeterogeneousSystem(cfg, mix, policy)
+    probe = Probe(system, interval_ticks=5000)
+    system.run()
+    print(probe.ascii_timeline("gpu_occupancy"))
+
+Used by the diagnostics example and handy when calibrating workloads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import HeterogeneousSystem
+
+
+class Probe:
+    SERIES = ("ticks", "gpu_frames", "gpu_progress", "gpu_occupancy",
+              "cpu_occupancy", "dram_queue", "gpu_outstanding",
+              "wg_ticks", "throttling", "cpu_instructions")
+
+    def __init__(self, system: "HeterogeneousSystem",
+                 interval_ticks: int = 4096):
+        self.system = system
+        self.interval = interval_ticks
+        self.series: dict[str, list[float]] = {k: [] for k in self.SERIES}
+        system.sim.after(interval_ticks, self._sample)
+
+    def _sample(self) -> None:
+        s = self.system
+        out = self.series
+        out["ticks"].append(s.sim.now)
+        gpu = s.gpu
+        out["gpu_frames"].append(gpu.frames_completed if gpu else 0)
+        out["gpu_progress"].append(gpu.frame_progress if gpu else 0.0)
+        out["gpu_outstanding"].append(gpu.outstanding if gpu else 0)
+        out["gpu_occupancy"].append(s.llc.gpu_occupancy())
+        out["cpu_occupancy"].append(s.llc.cpu_occupancy())
+        out["dram_queue"].append(
+            sum(c.queue_depth() for c in s.dram.controllers))
+        out["cpu_instructions"].append(
+            sum(c.instructions for c in s.cores))
+        qos = getattr(s.policy, "qos", None)
+        if qos is not None:
+            out["wg_ticks"].append(qos.atu.wg_ticks)
+            out["throttling"].append(1.0 if qos.throttling else 0.0)
+        else:
+            out["wg_ticks"].append(0)
+            out["throttling"].append(0.0)
+        if not (gpu is not None and gpu.stopped and not s.cores):
+            s.sim.after(self.interval, self._sample)
+
+    # -- rendering ----------------------------------------------------------
+
+    def ascii_timeline(self, name: str, width: int = 60,
+                       height: int = 8) -> str:
+        """A quick terminal sparkline of one series."""
+        data = self.series[name]
+        if not data:
+            return f"{name}: (no samples)"
+        # downsample to width columns
+        step = max(len(data) / width, 1e-9)
+        cols = [data[min(int(i * step), len(data) - 1)]
+                for i in range(min(width, len(data)))]
+        lo, hi = min(cols), max(cols)
+        span = (hi - lo) or 1.0
+        rows = []
+        for level in range(height, 0, -1):
+            threshold = lo + span * (level - 0.5) / height
+            rows.append("".join("#" if v >= threshold else " "
+                                for v in cols))
+        header = f"{name}  min={lo:g} max={hi:g} samples={len(data)}"
+        return "\n".join([header] + rows)
+
+    def summary(self) -> dict[str, float]:
+        out = {}
+        for k, vals in self.series.items():
+            if vals and k != "ticks":
+                out[f"{k}_mean"] = sum(vals) / len(vals)
+                out[f"{k}_max"] = max(vals)
+        return out

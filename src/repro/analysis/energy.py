@@ -1,0 +1,114 @@
+"""Event-based energy accounting.
+
+The paper motivates heterogeneous processing with energy efficiency
+(Section I); throttling a GPU that renders frames nobody can perceive
+is also an energy story: the GPU spends fewer DRAM activates and LLC
+accesses per second, at the cost of a longer CPU-visible runtime.  This
+module prices a finished :class:`~repro.sim.metrics.RunResult` with an
+event-energy model (CACTI-class constants, documented per field) so the
+trade-off can be quantified — see ``bench_ablation_energy.py``.
+
+All values are picojoules per event (or milliwatts for static power);
+they are deliberately round, order-of-magnitude numbers — the *ratios*
+between configurations are the meaningful output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (pJ) and static power (mW)."""
+
+    # SRAM accesses by level (dynamic energy per access)
+    llc_access_pj: float = 250.0        # multi-MB SRAM bank
+    private_cache_pj: float = 25.0      # L1/L2 class
+    gpu_internal_pj: float = 30.0
+    # DRAM events
+    dram_activate_pj: float = 900.0     # ACT+PRE pair, one row
+    dram_rw_pj: float = 450.0           # one 64 B burst read/write
+    dram_static_mw: float = 150.0
+    # cores
+    cpu_inst_pj: float = 70.0           # per retired instruction
+    cpu_static_mw_per_core: float = 350.0
+    gpu_cycle_pj: float = 400.0         # busy GPU cycle, whole shader array
+    gpu_static_mw: float = 800.0
+    #: base tick length in seconds (1 / 4 GHz)
+    tick_seconds: float = 0.25e-9
+
+
+@dataclass
+class EnergyReport:
+    """Joules by component, plus derived figures of merit."""
+
+    cpu_dynamic: float
+    cpu_static: float
+    gpu_dynamic: float
+    gpu_static: float
+    llc: float
+    dram_dynamic: float
+    dram_static: float
+    run_seconds: float
+    breakdown: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (self.cpu_dynamic + self.cpu_static + self.gpu_dynamic +
+                self.gpu_static + self.llc + self.dram_dynamic +
+                self.dram_static)
+
+    @property
+    def memory_system(self) -> float:
+        return self.llc + self.dram_dynamic + self.dram_static
+
+    def energy_per_frame(self, frames: int) -> float:
+        return self.total / frames if frames else 0.0
+
+
+def price_run(result: RunResult, n_cpus: int | None = None,
+              params: EnergyParams = EnergyParams()) -> EnergyReport:
+    """Price a finished run with the event-energy model."""
+    p = params
+    seconds = result.ticks * p.tick_seconds
+    n_cores = n_cpus if n_cpus is not None else len(result.cpu_apps)
+
+    # retired instructions ~= sum of per-core IPC x run length (cores
+    # keep running after their measured region, at roughly the same IPC)
+    insts = int(sum(result.cpu_ipcs.values()) * result.ticks)
+
+    llc_accesses = (result.llc.get("cpu_accesses", 0) +
+                    result.llc.get("gpu_accesses", 0))
+    dram_rw = (result.dram.get("cpu_reads", 0) +
+               result.dram.get("cpu_writes", 0) +
+               result.dram.get("gpu_reads", 0) +
+               result.dram.get("gpu_writes", 0))
+    # activates ~ (1 - row_hit_rate) of transactions
+    activates = dram_rw * max(1.0 - result.dram_row_hit_rate, 0.0)
+    gpu_internal = result.gpu_stats.get("internal_accesses", 0)
+    gpu_busy_cycles = sum(result.frame_cycles)
+
+    report = EnergyReport(
+        cpu_dynamic=insts * p.cpu_inst_pj * 1e-12,
+        cpu_static=n_cores * p.cpu_static_mw_per_core * 1e-3 * seconds,
+        gpu_dynamic=(gpu_busy_cycles * p.gpu_cycle_pj +
+                     gpu_internal * p.gpu_internal_pj) * 1e-12,
+        gpu_static=(p.gpu_static_mw * 1e-3 * seconds
+                    if result.gpu_app else 0.0),
+        llc=llc_accesses * p.llc_access_pj * 1e-12,
+        dram_dynamic=(dram_rw * p.dram_rw_pj +
+                      activates * p.dram_activate_pj) * 1e-12,
+        dram_static=p.dram_static_mw * 1e-3 * seconds,
+        run_seconds=seconds,
+    )
+    report.breakdown = {
+        "instructions": insts,
+        "llc_accesses": llc_accesses,
+        "dram_transactions": dram_rw,
+        "dram_activates": int(activates),
+        "gpu_busy_cycles": gpu_busy_cycles,
+    }
+    return report

@@ -1,0 +1,267 @@
+"""One entry point per figure of the paper's evaluation.
+
+Every function returns a plain dict of series keyed the way the paper's
+axes are labelled, so benches and the report renderer share the data.
+Heterogeneous runs are memoised per ``(mix, policy, scale, seed)`` —
+Figs. 9, 10 and 11 share the same three runs per mix, and Figs. 12-14
+share their policy sweeps.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.mixes import HIGH_FPS_MIXES, LOW_FPS_MIXES, MIXES_M, MIXES_W
+from repro.sim import runner
+from repro.sim.metrics import RunResult, combined_performance, geomean
+
+#: the policy line-up of Figs. 12-14, in the paper's legend order
+COMPARED_POLICIES = ["baseline", "sms-0.9", "sms-0", "dynprio", "helm",
+                     "throtcpuprio"]
+
+
+@lru_cache(maxsize=None)
+def hetero(mix_name: str, policy: str, scale: str = "test",
+           seed: int = 1) -> RunResult:
+    return runner.run_mix(mix_name, policy, scale=scale, seed=seed)
+
+
+def _ws_norm(mix_name: str, policy: str, scale: str, seed: int) -> float:
+    """Weighted CPU speedup of a policy run, normalised to baseline."""
+    base = hetero(mix_name, "baseline", scale, seed)
+    run = hetero(mix_name, policy, scale, seed)
+    ws_base = runner.weighted_speedup_for(base, scale, seed)
+    ws_run = runner.weighted_speedup_for(run, scale, seed)
+    return ws_run / ws_base if ws_base > 0 else 0.0
+
+
+# ---------------------------------------------------------------- Fig. 1
+
+def fig1(scale: str = "test", seed: int = 1,
+         mixes: list[str] | None = None) -> dict:
+    """Normalised CPU and GPU performance, heterogeneous vs standalone,
+    for the W mixes (1 CPU + 1 GPU).  Paper: both sides lose ~22% mean.
+    """
+    names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    cpu, gpu = {}, {}
+    for name in names:
+        m = MIXES_W[name]
+        het = hetero(name, "baseline", scale, seed)
+        alone_c = runner.standalone_cpu(m.cpu_apps[0], scale, seed)
+        alone_g = runner.standalone_gpu(m.gpu_app, scale, seed)
+        cpu[name] = het.cpu_ipcs[0] / alone_c.cpu_ipcs[0]
+        gpu[name] = het.fps / alone_g.fps
+    return {"cpu": cpu, "gpu": gpu,
+            "gmean_cpu": geomean(cpu.values()),
+            "gmean_gpu": geomean(gpu.values())}
+
+
+# ---------------------------------------------------------------- Fig. 2
+
+def fig2(scale: str = "test", seed: int = 1,
+         mixes: list[str] | None = None) -> dict:
+    """GPU FPS, standalone vs heterogeneous, against the 30 FPS line."""
+    names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    standalone, het_fps, games = {}, {}, {}
+    for name in names:
+        m = MIXES_W[name]
+        games[name] = m.gpu_app
+        standalone[name] = runner.standalone_gpu(m.gpu_app, scale, seed).fps
+        het_fps[name] = hetero(name, "baseline", scale, seed).fps
+    return {"games": games, "standalone": standalone,
+            "heterogeneous": het_fps, "reference_fps": 30.0}
+
+
+# ---------------------------------------------------------------- Fig. 3
+
+def fig3(scale: str = "test", seed: int = 1,
+         mixes: list[str] | None = None) -> dict:
+    """CPU speedup when ALL GPU read-miss fills bypass the LLC.
+    Paper: ~2% mean CPU *loss*; some mixes gain, some lose double digits.
+    """
+    names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    speedup = {}
+    for name in names:
+        base = hetero(name, "baseline", scale, seed)
+        byp = hetero(name, "bypass-all", scale, seed)
+        speedup[name] = (byp.cpu_ipcs[0] / base.cpu_ipcs[0]
+                         if base.cpu_ipcs[0] > 0 else 0.0)
+    return {"speedup": speedup, "gmean": geomean(speedup.values())}
+
+
+# ---------------------------------------------------------------- Fig. 8
+
+def fig8(scale: str = "test", seed: int = 1,
+         mixes: list[str] | None = None) -> dict:
+    """Percent error of the dynamic frame-rate estimate, per GPU app.
+    Paper: average error < 1%, max +6% / -4%.
+    """
+    names = mixes or sorted(MIXES_M, key=lambda n: int(n[1:]))
+    errors, mean_abs = {}, {}
+    for name in names:
+        r = hetero(name, "estimate", scale, seed)
+        game = MIXES_M[name].gpu_app
+        errs = r.frpu_errors
+        errors[game] = sum(errs) / len(errs) if errs else 0.0
+        mean_abs[game] = (sum(abs(e) for e in errs) / len(errs)
+                          if errs else 0.0)
+    overall = sum(mean_abs.values()) / len(mean_abs) if mean_abs else 0.0
+    return {"mean_error_pct": errors, "mean_abs_error_pct": mean_abs,
+            "average_abs_error_pct": overall}
+
+
+# ------------------------------------------------------- Figs. 9, 10, 11
+
+def fig9(scale: str = "test", seed: int = 1,
+         mixes: list[str] | None = None) -> dict:
+    """FPS of throttle-amenable GPU apps (baseline / throttled /
+    throttled+CPUprio) and the weighted CPU speedup of their mixes.
+    Paper: FPS lands just above 40; CPU +11% / +18% mean.
+    """
+    names = mixes or HIGH_FPS_MIXES
+    fps = {p: {} for p in ("baseline", "throttle", "throtcpuprio")}
+    ws = {p: {} for p in ("throttle", "throtcpuprio")}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        for pol in ("baseline", "throttle", "throtcpuprio"):
+            fps[pol][game] = hetero(name, pol, scale, seed).fps
+        for pol in ("throttle", "throtcpuprio"):
+            ws[pol][name] = _ws_norm(name, pol, scale, seed)
+    return {"fps": fps,
+            "ws_norm": ws,
+            "gmean_ws": {p: geomean(v.values()) for p, v in ws.items()},
+            "target_fps": 40.0}
+
+
+def fig10(scale: str = "test", seed: int = 1,
+          mixes: list[str] | None = None) -> dict:
+    """Normalised LLC miss counts under throttling.
+    Paper: GPU misses +39%/+42%; CPU misses -4%/-4.5%.
+    """
+    names = mixes or HIGH_FPS_MIXES
+    gpu = {p: {} for p in ("throttle", "throtcpuprio")}
+    cpu = {p: {} for p in ("throttle", "throtcpuprio")}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        base = hetero(name, "baseline", scale, seed)
+        for pol in ("throttle", "throtcpuprio"):
+            run = hetero(name, pol, scale, seed)
+            # normalise per frame / per instruction so longer throttled
+            # runs compare like-for-like
+            g_base = base.gpu_llc_misses / max(base.frames_rendered, 1)
+            g_run = run.gpu_llc_misses / max(run.frames_rendered, 1)
+            gpu[pol][game] = g_run / g_base if g_base else 0.0
+            cpu[pol][name] = (run.cpu_llc_misses / base.cpu_llc_misses
+                              if base.cpu_llc_misses else 0.0)
+    return {"gpu_miss_norm": gpu, "cpu_miss_norm": cpu,
+            "mean_gpu": {p: geomean(v.values()) for p, v in gpu.items()},
+            "mean_cpu": {p: geomean(v.values()) for p, v in cpu.items()}}
+
+
+def fig11(scale: str = "test", seed: int = 1,
+          mixes: list[str] | None = None) -> dict:
+    """Normalised GPU DRAM bandwidth (read/write) under throttling.
+    Paper: total GPU bandwidth demand falls 35%/37%.
+    """
+    names = mixes or HIGH_FPS_MIXES
+
+    def active_ticks(run: RunResult) -> int:
+        # bandwidth is normalised over the GPU's *rendering* time, not
+        # the (CPU-determined) run length — Fig. 11 reports the GPU's
+        # demand on the DRAM while it renders
+        return max(sum(run.frame_cycles) * 4, 1)
+
+    out = {p: {} for p in ("throttle", "throtcpuprio")}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        base = hetero(name, "baseline", scale, seed)
+        b_read = base.dram_gpu_read_bytes / active_ticks(base)
+        b_write = base.dram_gpu_write_bytes / active_ticks(base)
+        for pol in ("throttle", "throtcpuprio"):
+            run = hetero(name, pol, scale, seed)
+            r_read = run.dram_gpu_read_bytes / active_ticks(run)
+            r_write = run.dram_gpu_write_bytes / active_ticks(run)
+            denom = b_read + b_write
+            out[pol][game] = {
+                "read": r_read / denom if denom else 0.0,
+                "write": r_write / denom if denom else 0.0,
+                "baseline_read": b_read / denom if denom else 0.0,
+                "baseline_write": b_write / denom if denom else 0.0,
+                "total": (r_read + r_write) / denom if denom else 0.0,
+            }
+    mean_total = {p: geomean([v["total"] for v in d.values()])
+                  for p, d in out.items()}
+    return {"bandwidth": out, "mean_total_norm": mean_total}
+
+
+# ------------------------------------------------------- Figs. 12, 13, 14
+
+def fig12(scale: str = "test", seed: int = 1,
+          mixes: list[str] | None = None,
+          policies: list[str] | None = None) -> dict:
+    """Policy comparison on the high-FPS mixes: FPS (top) and normalised
+    weighted CPU speedup (bottom).
+    Paper means: SMS-0.9 +4%, SMS-0 +4%, DynPrio +10%, HeLM +3%,
+    proposal +18%; every policy keeps FPS above 40.
+    """
+    names = mixes or HIGH_FPS_MIXES
+    pols = policies or COMPARED_POLICIES
+    fps = {p: {} for p in pols}
+    ws = {p: {} for p in pols}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        for pol in pols:
+            fps[pol][game] = hetero(name, pol, scale, seed).fps
+            ws[pol][name] = _ws_norm(name, pol, scale, seed)
+    return {"fps": fps, "ws_norm": ws,
+            "gmean_ws": {p: geomean(v.values()) for p, v in ws.items()},
+            "target_fps": 40.0}
+
+
+def fig13(scale: str = "test", seed: int = 1,
+          mixes: list[str] | None = None,
+          policies: list[str] | None = None) -> dict:
+    """Policy comparison on the low-FPS mixes (proposal stays disabled):
+    normalised FPS (top) and weighted CPU speedup (bottom).
+    Paper: SMS large FPS losses; DynPrio ~= baseline; HeLM -7% FPS,
+    +4% CPU; proposal ~= baseline.
+    """
+    names = mixes or LOW_FPS_MIXES
+    pols = policies or COMPARED_POLICIES
+    fps_norm = {p: {} for p in pols}
+    ws = {p: {} for p in pols}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        base = hetero(name, "baseline", scale, seed)
+        for pol in pols:
+            run = hetero(name, pol, scale, seed)
+            fps_norm[pol][game] = run.fps / base.fps if base.fps else 0.0
+            ws[pol][name] = _ws_norm(name, pol, scale, seed)
+    return {"fps_norm": fps_norm, "ws_norm": ws,
+            "gmean_fps": {p: geomean(v.values())
+                          for p, v in fps_norm.items()},
+            "gmean_ws": {p: geomean(v.values()) for p, v in ws.items()}}
+
+
+def fig14(scale: str = "test", seed: int = 1,
+          mixes: list[str] | None = None,
+          policies: list[str] | None = None) -> dict:
+    """Equal-weight combined CPU+GPU performance on the low-FPS mixes.
+    Paper: proposal and DynPrio ~= baseline, SMS large losses, HeLM -1%.
+    """
+    f13 = fig13(scale, seed, mixes, policies)
+    names = mixes or LOW_FPS_MIXES
+    pols = policies or COMPARED_POLICIES
+    combined = {p: {} for p in pols}
+    for name in names:
+        game = MIXES_M[name].gpu_app
+        for pol in pols:
+            combined[pol][name] = combined_performance(
+                f13["ws_norm"][pol][name], f13["fps_norm"][pol][game])
+    return {"combined": combined,
+            "gmean": {p: geomean(v.values()) for p, v in combined.items()}}
+
+
+def clear_caches() -> None:
+    hetero.cache_clear()
+    runner.clear_caches()

@@ -1,0 +1,79 @@
+"""Multi-seed replication with confidence intervals.
+
+Scaled runs are short, so single-seed numbers carry noise; any headline
+claim should be replicated.  ``replicate`` runs a metric function over
+several seeds and returns mean, standard deviation and a Student-t
+confidence interval (scipy when available, a t-table fallback
+otherwise, since scipy is an optional dependency of the core library).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+#: two-sided 95% t critical values by degrees of freedom (fallback)
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+        30: 2.042}
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    try:
+        from scipy import stats as sps
+        return float(sps.t.ppf(0.5 + confidence / 2, df))
+    except Exception:
+        if confidence != 0.95:
+            raise ValueError("fallback t-table only supports 95%")
+        keys = sorted(_T95)
+        for k in keys:
+            if df <= k:
+                return _T95[k]
+        return 1.96
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Summary of one metric over several seeds."""
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def ci_halfwidth(self) -> float:
+        return (self.ci_high - self.ci_low) / 2
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.4g} ± {self.ci_halfwidth():.2g} "
+                f"({int(self.confidence*100)}% CI, n={self.n})")
+
+
+def summarize(values: Sequence[float],
+              confidence: float = 0.95) -> Replicated:
+    vals = tuple(float(v) for v in values)
+    if not vals:
+        raise ValueError("no values to summarise")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return Replicated(vals, mean, 0.0, mean, mean, confidence)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    half = _t_critical(n - 1, confidence) * std / math.sqrt(n)
+    return Replicated(vals, mean, std, mean - half, mean + half,
+                      confidence)
+
+
+def replicate(metric_fn: Callable[[int], float],
+              seeds: Iterable[int] = (1, 2, 3),
+              confidence: float = 0.95) -> Replicated:
+    """Run ``metric_fn(seed)`` for each seed and summarise."""
+    return summarize([metric_fn(seed) for seed in seeds], confidence)

@@ -1,0 +1,146 @@
+"""The QoS controller: FRPU -> ATU -> DRAM CPU-priority (Section III).
+
+Every ``recompute_interval_gpu_cycles`` the controller:
+
+1. asks the FRPU for the projected cycles/frame ``C_P`` (Eq. 3);
+2. compares against ``C_T``, the cycles/frame at the target QoS rate
+   (40 FPS: the 30 FPS visual-satisfaction floor plus a 10 FPS cushion);
+3. if the GPU is faster than the target (``C_P < C_T``), computes the
+   throttle ``(N_G, W_G)`` via the Fig. 6 flow, installs the gate on the
+   GPU's GTT ports, and (optionally) boosts CPU priority in the DRAM
+   access schedulers;
+4. otherwise removes the gate and the priority boost — the mix runs in
+   baseline mode (the proposal "remains disabled" for GPU applications
+   that fail to meet the target FPS).
+
+``C_T`` in scaled cycles: a design-point frame is ``gpu_frame_cycles``
+GPU cycles and corresponds to ``fps_nominal``; rendering at ``target_fps``
+therefore takes ``gpu_frame_cycles * fps_nominal / target_fps`` cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config import GPU_CYCLE_TICKS, QosConfig
+from repro.core.atu import AccessThrottlingUnit
+from repro.core.frpu import FrameRatePredictor, Phase
+from repro.dram.schedulers import CpuPriorityScheduler
+from repro.gpu.pipeline import FrameRecord, GpuPipeline, PassGate
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatSet
+
+
+class QoSController:
+    def __init__(self, sim: Simulator, cfg: QosConfig,
+                 pipeline: GpuPipeline, gpu_frame_cycles: int,
+                 dram_schedulers: Sequence[CpuPriorityScheduler] = (),
+                 correct_throttle: bool = True):
+        self.sim = sim
+        self.cfg = cfg
+        self.pipeline = pipeline
+        self.gpu_frame_cycles = gpu_frame_cycles
+        self.dram_schedulers = list(dram_schedulers)
+        self.frpu = FrameRatePredictor(
+            rtp_entries=cfg.rtp_table_entries,
+            verify_threshold=cfg.verify_threshold,
+            correct_throttle=correct_throttle)
+        self.atu = AccessThrottlingUnit(wg_step=cfg.wg_step)
+        self._pass_gate = PassGate()
+        self.throttling = False
+        self._interval_ticks = (cfg.recompute_interval_gpu_cycles *
+                                GPU_CYCLE_TICKS)
+        self.stats = StatSet("qos")
+        self._c_recompute = self.stats.counter("recomputes")
+        self._c_throttle_on = self.stats.counter("throttle_activations")
+        self._c_throttle_off = self.stats.counter("throttle_deactivations")
+        self._stopped = False
+
+    # -- target ---------------------------------------------------------------
+
+    @property
+    def target_cycles_per_frame(self) -> float:
+        w = self.pipeline.workload
+        return self.gpu_frame_cycles * w.fps_nominal / self.cfg.target_fps
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.pipeline.on_frame_done = self._chain_frame_done(
+            self.pipeline.on_frame_done)
+        self.sim.after(self._interval_ticks, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._disable()
+
+    def _chain_frame_done(self, prev):
+        def handler(rec: FrameRecord) -> None:
+            self.frpu.on_frame_complete(rec)
+            if self.frpu.phase is Phase.LEARNING:
+                # no valid learning: run unthrottled (paper: steps 2-3
+                # are only invoked with a valid estimate)
+                self._disable()
+            if prev is not None:
+                prev(rec)
+        return handler
+
+    def _tick(self) -> None:
+        if self._stopped or self.pipeline.stopped:
+            return
+        self.recompute()
+        self.sim.after(self._interval_ticks, self._tick)
+
+    # -- the three-step algorithm ---------------------------------------------
+
+    def recompute(self) -> None:
+        self._c_recompute.inc()
+        c_p = self.frpu.predict_frame_cycles(self.pipeline)
+        if c_p is None:
+            self._disable()
+            return
+        c_t = self.target_cycles_per_frame
+        a = self.frpu.learned.llc_accesses if self.frpu.learned else 0
+        if c_p >= c_t or a <= 0:
+            # estimated frame rate below target: steps 2 and 3 are
+            # not invoked
+            self.atu.compute(c_p, c_t, max(a, 1))
+            self._disable()
+            return
+        self.atu.compute(c_p, c_t, a)
+        self._enable()
+
+    def _enable(self) -> None:
+        if not self.throttling:
+            self.throttling = True
+            self._c_throttle_on.inc()
+        self.pipeline.gate = self.atu
+        if self.cfg.cpu_priority_boost:
+            for s in self.dram_schedulers:
+                s.boost = True
+
+    def _disable(self) -> None:
+        if self.throttling:
+            self.throttling = False
+            self._c_throttle_off.inc()
+        self.atu.reset_gate()
+        self.pipeline.gate = self._pass_gate
+        for s in self.dram_schedulers:
+            s.boost = False
+
+    # -- reporting ------------------------------------------------------------
+
+    def predicted_fps(self) -> Optional[float]:
+        return self.frpu.predicted_fps(
+            self.pipeline, self.pipeline.workload.fps_nominal,
+            self.gpu_frame_cycles)
+
+    def storage_overhead_bits(self) -> int:
+        """Section III-D: the hardware budget of the whole mechanism —
+        the RTP information table plus the ATU/FRPU working registers
+        ("just over a kilobyte of additional storage")."""
+        table = self.frpu.table.storage_bits()
+        # N_G, W_G, tokens, learned aggregates, phase/state registers:
+        # a dozen 4-byte registers
+        registers = 12 * 32
+        return table + registers

@@ -1,0 +1,88 @@
+"""The 64-entry render-target-plane information table (Section III-A1).
+
+Per valid entry, four 4-byte fields about one RTP of the learned frame:
+
+1. total number of updates to the RTP,
+2. cycles to finish the RTP,
+3. number of RTTs in the RTP,
+4. shared-LLC accesses made for the RTP.
+
+If a frame has more RTPs than entries, the last entry accumulates all
+overflow RTPs (as the paper specifies).  Section III-D's storage claim
+("just over a kilobyte") is checked by :meth:`storage_bits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RtpEntry:
+    valid: bool = False
+    updates: int = 0
+    cycles: int = 0
+    n_rtts: int = 0
+    llc_accesses: int = 0
+
+    def accumulate(self, updates: int, cycles: int, n_rtts: int,
+                   llc: int) -> None:
+        self.valid = True
+        self.updates += updates
+        self.cycles += cycles
+        self.n_rtts += n_rtts
+        self.llc_accesses += llc
+
+
+class RtpInfoTable:
+    FIELD_BYTES = 4
+    FIELDS = 4
+
+    def __init__(self, entries: int = 64):
+        if entries < 1:
+            raise ValueError("RTP table needs at least one entry")
+        self.capacity = entries
+        self._entries = [RtpEntry() for _ in range(entries)]
+        self._n_rtps = 0              # RTPs recorded (may exceed capacity)
+
+    def reset(self) -> None:
+        for e in self._entries:
+            e.valid = False
+            e.updates = e.cycles = e.n_rtts = e.llc_accesses = 0
+        self._n_rtps = 0
+
+    def record(self, updates: int, cycles: int, n_rtts: int,
+               llc: int) -> None:
+        """Record one completed RTP; overflow folds into the last entry."""
+        idx = min(self._n_rtps, self.capacity - 1)
+        entry = self._entries[idx]
+        if self._n_rtps < self.capacity:
+            entry.valid = True
+            entry.updates = updates
+            entry.cycles = cycles
+            entry.n_rtts = n_rtts
+            entry.llc_accesses = llc
+        else:
+            entry.accumulate(updates, cycles, n_rtts, llc)
+        self._n_rtps += 1
+
+    @property
+    def n_rtps(self) -> int:
+        return self._n_rtps
+
+    def valid_entries(self) -> list[RtpEntry]:
+        return [e for e in self._entries if e.valid]
+
+    def total_cycles(self) -> int:
+        return sum(e.cycles for e in self.valid_entries())
+
+    def total_llc_accesses(self) -> int:
+        return sum(e.llc_accesses for e in self.valid_entries())
+
+    def avg_cycles_per_rtp(self) -> float:
+        n = self._n_rtps
+        return self.total_cycles() / n if n else 0.0
+
+    def storage_bits(self) -> int:
+        """Hardware cost: 4 fields x 4 B per entry + 1 valid bit."""
+        return self.capacity * (self.FIELDS * self.FIELD_BYTES * 8 + 1)

@@ -1,0 +1,8 @@
+"""CPU substrate: SPEC-like workload profiles, trace generation, cores."""
+
+from repro.cpu.spec import SpecProfile, SPEC_PROFILES, profile_for
+from repro.cpu.trace import TraceGenerator
+from repro.cpu.core import CpuCore
+
+__all__ = ["SpecProfile", "SPEC_PROFILES", "profile_for",
+           "TraceGenerator", "CpuCore"]

@@ -1,0 +1,121 @@
+"""NumPy-batched synthetic address-trace generation.
+
+Per the optimisation guides, the per-access Python cost dominates a
+trace-driven simulator, so traces are generated in vectorised batches:
+one call produces thousands of ``(gap, addr, is_write, serial)`` tuples
+as parallel arrays, and the core model walks them with plain indexing.
+
+Every generator is fully deterministic from ``(profile, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import LINE_BYTES
+from repro.cpu.spec import SpecProfile
+
+
+class _StreamState:
+    """Cursor state for one generator in the mixture."""
+
+    __slots__ = ("kind", "base", "size_lines", "cursor")
+
+    def __init__(self, kind: str, base: int, region_bytes: int):
+        self.kind = kind
+        self.base = base
+        self.size_lines = max(region_bytes // LINE_BYTES, 1)
+        self.cursor = 0
+
+
+class TraceBatch:
+    """Parallel arrays describing a run of memory operations."""
+
+    __slots__ = ("gaps", "addrs", "writes", "serial", "n")
+
+    def __init__(self, gaps: np.ndarray, addrs: np.ndarray,
+                 writes: np.ndarray, serial: np.ndarray):
+        self.gaps = gaps          # int64: instructions before this memop
+        self.addrs = addrs        # int64: byte addresses (line aligned)
+        self.writes = writes      # bool
+        self.serial = serial      # bool: load must complete before issue
+        self.n = len(gaps)
+
+
+class TraceGenerator:
+    """Generates the memory-operation stream of one SPEC-like app.
+
+    ``base_addr`` places the app in its own region of physical memory
+    (the paper's apps do not share data); regions for the individual
+    mixture streams are carved sequentially from it.
+    """
+
+    def __init__(self, profile: SpecProfile, seed: int, base_addr: int,
+                 mem_scale: int = 1):
+        self.profile = profile
+        self.base_addr = base_addr
+        self.mem_scale = max(mem_scale, 1)
+        self._rng = np.random.default_rng(seed)
+        self._streams: list[_StreamState] = []
+        self._weights = np.array([s.weight for s in profile.streams])
+        self._weights = self._weights / self._weights.sum()
+        offset = base_addr
+        for s in profile.streams:
+            region = max(s.region_bytes // self.mem_scale, 4096)
+            self._streams.append(_StreamState(s.kind, offset, region))
+            offset += region
+        self.code_base = offset
+        self.code_bytes = max(profile.code_bytes // self.mem_scale, 4096)
+        self.end_addr = offset + self.code_bytes
+        # mean instruction gap between memops
+        self._mean_gap = max(1000.0 / profile.mem_per_kinst - 1.0, 0.0)
+
+    def footprint_bytes(self) -> int:
+        return self.end_addr - self.base_addr
+
+    def next_batch(self, n: int) -> TraceBatch:
+        """Produce the next ``n`` memory operations."""
+        rng = self._rng
+        prof = self.profile
+        # geometric-ish gaps with the right mean, clipped for stability
+        gaps = rng.poisson(self._mean_gap, n).astype(np.int64)
+        writes = rng.random(n) < prof.store_frac
+        serial = np.zeros(n, dtype=bool)
+        addrs = np.empty(n, dtype=np.int64)
+
+        choice = rng.choice(len(self._streams), size=n, p=self._weights)
+        for i, st in enumerate(self._streams):
+            idx = np.nonzero(choice == i)[0]
+            if idx.size == 0:
+                continue
+            if st.kind == "stream":
+                # unit-stride word walk: 8 consecutive accesses share one
+                # 64 B line, so only every 8th access opens a new line
+                # (the L1 filters the rest; DRAM sees a clean stream)
+                word = st.cursor + np.arange(idx.size, dtype=np.int64)
+                lines = (word // 8) % st.size_lines
+                st.cursor = int(st.cursor + idx.size)
+            elif st.kind == "hot":
+                lines = rng.integers(0, st.size_lines, idx.size)
+            elif st.kind == "random":
+                lines = rng.integers(0, st.size_lines, idx.size)
+            elif st.kind == "pointer":
+                lines = rng.integers(0, st.size_lines, idx.size)
+                serial[idx] = True
+                writes[idx] = False       # chasing loads
+            else:  # pragma: no cover - profiles are validated
+                raise ValueError(f"unknown stream kind {st.kind!r}")
+            addrs[idx] = st.base + lines * LINE_BYTES
+        return TraceBatch(gaps, addrs, writes, serial)
+
+    def ifetch_addresses(self, n: int) -> np.ndarray:
+        """Instruction-fetch line addresses: a hot loop walking the code
+        region with strong locality (almost always L1I-resident)."""
+        lines = self.code_bytes // LINE_BYTES
+        # 95% within a 16-line loop body, 5% jumps elsewhere in the code
+        rng = self._rng
+        loop = rng.integers(0, max(lines // 16, 1)) * 16
+        offs = np.where(rng.random(n) < 0.95,
+                        rng.integers(0, 16, n),
+                        rng.integers(0, lines, n))
+        return self.code_base + ((loop + offs) % lines) * LINE_BYTES

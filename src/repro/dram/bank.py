@@ -1,0 +1,58 @@
+"""One DRAM bank: row-buffer state machine with legality checks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.timing import TimingTicks
+
+
+class Bank:
+    """Row-buffer state + earliest next-command time for one bank."""
+
+    __slots__ = ("index", "open_row", "ready_at", "row_hits", "row_misses",
+                 "row_conflicts", "activations")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.open_row: Optional[int] = None
+        self.ready_at: int = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.activations = 0
+
+    def row_state(self, row: int) -> str:
+        if self.open_row is None:
+            return "closed"
+        return "hit" if self.open_row == row else "conflict"
+
+    def service(self, row: int, now: int, timing: TimingTicks, *,
+                is_write: bool, open_page: bool,
+                bus_free_at: int) -> tuple[int, int]:
+        """Issue one line transfer to this bank.
+
+        Returns ``(data_start, done)`` in ticks and advances the bank
+        state.  The caller enforces the command-bus rate and the shared
+        data bus (``bus_free_at``).
+        """
+        if now < self.ready_at:
+            raise RuntimeError(
+                f"bank {self.index} commanded at {now} < ready {self.ready_at}")
+        state = self.row_state(row)
+        if state == "hit":
+            self.row_hits += 1
+        elif state == "closed":
+            self.row_misses += 1
+            self.activations += 1
+        else:
+            self.row_conflicts += 1
+            self.activations += 1
+        access = timing.access_ticks(state)
+        data_start = max(now + access, bus_free_at)
+        done = data_start + timing.burst
+        # Simplified bank hold: busy until data completes, plus write
+        # recovery after writes.
+        self.ready_at = done + (timing.t_wr if is_write else 0)
+        self.open_row = row if open_page else None
+        return data_start, done

@@ -1,0 +1,314 @@
+"""Per-channel memory controller and the multi-channel DRAM system.
+
+Each controller owns one DDR3 channel: per-bank row-buffer state, split
+read/write queues with write-drain hysteresis, a shared data bus, and a
+pluggable access scheduler (FR-FCFS by default).  Command issue is paced
+at one command per DRAM cycle; bank-level parallelism emerges because a
+bank only blocks its own next command while the data bus serialises the
+actual transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DRAM_CYCLE_TICKS, DramConfig, LINE_BYTES
+from repro.dram.bank import Bank
+from repro.dram.schedulers import FrFcfsScheduler, SmsScheduler
+from repro.dram.timing import TimingTicks
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatSet
+
+
+class PendingReq:
+    """One queued DRAM transaction (line granularity)."""
+
+    __slots__ = ("req", "row", "bank", "arrival", "is_write", "is_gpu",
+                 "source")
+
+    def __init__(self, req: MemRequest, row: int, bank: int, arrival: int):
+        self.req = req
+        self.row = row
+        self.bank = bank
+        self.arrival = arrival
+        self.is_write = req.is_write
+        self.is_gpu = req.is_gpu
+        self.source = req.source
+
+
+class MemoryController:
+    def __init__(self, sim: Simulator, cfg: DramConfig, channel_id: int,
+                 scheduler=None, *, line_bytes: int = LINE_BYTES,
+                 channel_bits: Optional[int] = None):
+        self.sim = sim
+        self.cfg = cfg
+        self.channel_id = channel_id
+        self.timing = TimingTicks.from_timing(cfg.timing)
+        nbanks = cfg.banks_per_rank * cfg.ranks_per_channel
+        self.banks = [Bank(i) for i in range(nbanks)]
+        self.scheduler = scheduler if scheduler is not None \
+            else FrFcfsScheduler()
+        if hasattr(self.scheduler, "now_fn"):
+            self.scheduler.now_fn = lambda: self.sim.now
+        self.read_q: list[PendingReq] = []
+        self.write_q: list[PendingReq] = []
+        self.bus_free_at = 0
+        self._draining = False
+        self._try_event = None
+        #: rolling ACTIVATE timestamps for the tFAW constraint
+        self._act_times: list[int] = []
+        self.refreshes = 0
+        self._refresh_applied = 0
+
+        # address mapping (within the channel): row : bank : column : line.
+        # The channel-select bits sit at line granularity ("line",
+        # "bank-xor") or at row granularity ("row") and are stripped
+        # before the bank/row decomposition.
+        self._line_shift = line_bytes.bit_length() - 1
+        if channel_bits is None:
+            channel_bits = max(cfg.channels - 1, 0).bit_length()
+        self._chan_bits = channel_bits
+        self._strip_shift = (cfg.row_bytes.bit_length() - 1
+                             if cfg.mapping == "row"
+                             else self._line_shift)
+        lines_per_row = cfg.row_bytes // line_bytes
+        self._col_bits = lines_per_row.bit_length() - 1
+        self._col_mask = lines_per_row - 1
+        self._bank_bits = (nbanks - 1).bit_length() if nbanks > 1 else 0
+        self._bank_mask = nbanks - 1
+
+        self.stats = StatSet(f"mc{channel_id}")
+        s = self.stats
+        self._served = {("cpu", False): s.counter("cpu_reads"),
+                        ("cpu", True): s.counter("cpu_writes"),
+                        ("gpu", False): s.counter("gpu_reads"),
+                        ("gpu", True): s.counter("gpu_writes")}
+        self._lat = {"cpu": s.accumulator("cpu_read_latency"),
+                     "gpu": s.accumulator("gpu_read_latency")}
+        self.line_bytes = line_bytes
+
+    # -- address mapping -------------------------------------------------
+
+    def _strip_channel(self, addr: int) -> int:
+        """Remove the channel-select bits from an address."""
+        low = addr & ((1 << self._strip_shift) - 1)
+        high = addr >> (self._strip_shift + self._chan_bits)
+        return (high << self._strip_shift) | low
+
+    def map_address(self, addr: int) -> tuple[int, int]:
+        """(bank index, row) for an address routed to this channel."""
+        a = self._strip_channel(addr) >> self._line_shift
+        bank = (a >> self._col_bits) & self._bank_mask
+        row = a >> (self._col_bits + self._bank_bits)
+        if self.cfg.mapping == "bank-xor":
+            bank = (bank ^ row) & self._bank_mask
+        return bank, row
+
+    # -- queueing -----------------------------------------------------------
+
+    def enqueue(self, req: MemRequest) -> None:
+        bank, row = self.map_address(req.addr)
+        entry = PendingReq(req, row, bank, self.sim.now)
+        if req.is_write:
+            self.write_q.append(entry)
+        elif not self.scheduler.on_enqueue(entry):
+            self.read_q.append(entry)
+        self._kick(self.sim.now)
+
+    def _pending_reads(self) -> int:
+        n = len(self.read_q)
+        if isinstance(self.scheduler, SmsScheduler):
+            n += self.scheduler.pending_reads()
+        return n
+
+    def queue_depth(self) -> int:
+        return self._pending_reads() + len(self.write_q)
+
+    # -- issue loop -------------------------------------------------------
+
+    def _kick(self, t: int) -> None:
+        t = max(t, self.sim.now)
+        if self._try_event is not None and not self._try_event.cancelled:
+            if self._try_event.time <= t:
+                return
+            self._try_event.cancel()
+        self._try_event = self.sim.at(t, self._try_issue)
+
+    def _apply_refreshes(self) -> None:
+        """All-bank refresh, applied lazily at command-issue time.
+
+        Commands only issue from :meth:`_try_issue`, so folding every
+        tREFI boundary crossed since the last issue into the bank state
+        here is timing-equivalent to eventing each refresh — and it
+        keeps the event queue drainable (no perpetual refresh events).
+        """
+        t_refi = self.timing.t_refi
+        if t_refi <= 0:
+            return
+        k = self.sim.now // t_refi
+        while self._refresh_applied < k:
+            self._refresh_applied += 1
+            busy_until = self._refresh_applied * t_refi + self.timing.t_rfc
+            for b in self.banks:
+                b.ready_at = max(b.ready_at, busy_until)
+                b.open_row = None
+            self.refreshes += 1
+
+    def _faw_blocked(self, entry: PendingReq) -> bool:
+        """True if issuing this request's ACTIVATE would violate tFAW."""
+        t_faw = self.timing.t_faw
+        if t_faw <= 0:
+            return False
+        if self.banks[entry.bank].row_state(entry.row) == "hit":
+            return False               # no ACTIVATE needed
+        now = self.sim.now
+        self._act_times = [t for t in self._act_times if now - t < t_faw]
+        return len(self._act_times) >= 4
+
+    def _issuable(self, q: list[PendingReq]) -> list[PendingReq]:
+        now = self.sim.now
+        return [e for e in q if self.banks[e.bank].ready_at <= now
+                and not self._faw_blocked(e)]
+
+    def _update_drain(self) -> None:
+        hi = int(self.cfg.write_queue * self.cfg.write_drain_hi)
+        lo = int(self.cfg.write_queue * self.cfg.write_drain_lo)
+        if not self._draining and len(self.write_q) >= hi:
+            self._draining = True
+        elif self._draining and len(self.write_q) <= lo:
+            self._draining = False
+
+    def _try_issue(self) -> None:
+        self._try_event = None
+        self._apply_refreshes()
+        self._update_drain()
+        candidates: list[PendingReq] = []
+        if self._draining:
+            candidates.extend(self._issuable(self.write_q))
+        candidates.extend(self._issuable(self.read_q))
+        if not candidates and self.write_q and self._pending_reads() == 0:
+            candidates.extend(self._issuable(self.write_q))
+
+        sel = self.scheduler.select(self, candidates)
+        if sel is None:
+            hint = self._retry_hint()
+            if hint is not None:
+                self._kick(max(hint, self.sim.now + 1))
+            return
+        if sel in self.read_q:
+            self.read_q.remove(sel)
+        elif sel in self.write_q:
+            self.write_q.remove(sel)
+        self._service(sel)
+        self._kick(self.sim.now + DRAM_CYCLE_TICKS)
+
+    def _retry_hint(self) -> Optional[int]:
+        if self.queue_depth() == 0:
+            return None               # nothing to issue: go idle
+        hints = []
+        for q in (self.read_q, self.write_q):
+            for e in q:
+                hints.append(self.banks[e.bank].ready_at)
+        if self.timing.t_faw > 0 and self._act_times:
+            hints.append(self._act_times[0] + self.timing.t_faw)
+        if isinstance(self.scheduler, SmsScheduler):
+            cur = self.scheduler._current
+            if cur is not None and cur.entries:
+                hints.append(self.banks[cur.entries[0].bank].ready_at)
+            age = self.scheduler.earliest_hint()
+            if age is not None:
+                hints.append(age)
+            if self.scheduler.pending_reads() and not hints:
+                hints.append(self.sim.now + 1)
+        return min(hints) if hints else None
+
+    def _service(self, entry: PendingReq) -> None:
+        bank = self.banks[entry.bank]
+        now = max(self.sim.now, bank.ready_at)
+        if self.timing.t_faw > 0 and bank.row_state(entry.row) != "hit":
+            self._act_times.append(now)
+        _data_start, done = bank.service(
+            entry.row, now, self.timing, is_write=entry.is_write,
+            open_page=self.cfg.open_page, bus_free_at=self.bus_free_at)
+        self.bus_free_at = done
+        side = "gpu" if entry.is_gpu else "cpu"
+        self._served[(side, entry.is_write)].inc()
+        if not entry.is_write:
+            self._lat[side].add(done - entry.arrival)
+            self.sim.at(done, entry.req.complete)
+        elif entry.req.on_done is not None:
+            self.sim.at(done, entry.req.complete)
+
+    # -- stats helpers ----------------------------------------------------
+
+    def bytes_served(self, side: str, write: bool) -> int:
+        return self._served[(side, write)].value * self.line_bytes
+
+    def row_hit_rate(self) -> float:
+        hits = sum(b.row_hits for b in self.banks)
+        total = hits + sum(b.row_misses + b.row_conflicts
+                           for b in self.banks)
+        return hits / total if total else 0.0
+
+
+class DramSystem:
+    """All channels + line-interleaved channel routing."""
+
+    def __init__(self, sim: Simulator, cfg: DramConfig,
+                 scheduler_factory=None, *, line_bytes: int = LINE_BYTES):
+        self.sim = sim
+        self.cfg = cfg
+        if cfg.channels & (cfg.channels - 1):
+            raise ValueError("channel count must be a power of two")
+        if cfg.mapping not in ("line", "row", "bank-xor"):
+            raise ValueError(f"unknown DRAM mapping {cfg.mapping!r}")
+        self._chan_mask = cfg.channels - 1
+        self._line_shift = line_bytes.bit_length() - 1
+        # channel-select bit position: line granularity (default and
+        # bank-xor) or row granularity
+        if cfg.mapping == "row":
+            self._chan_select_shift = (cfg.row_bytes).bit_length() - 1
+        else:
+            self._chan_select_shift = self._line_shift
+        factory = scheduler_factory or (lambda ch: FrFcfsScheduler())
+        self.controllers = [
+            MemoryController(sim, cfg, ch, factory(ch),
+                             line_bytes=line_bytes)
+            for ch in range(cfg.channels)
+        ]
+
+    def channel_of(self, addr: int) -> int:
+        return (addr >> self._chan_select_shift) & self._chan_mask
+
+    def send(self, req: MemRequest) -> None:
+        self.controllers[self.channel_of(req.addr)].enqueue(req)
+
+    # -- aggregated stats ----------------------------------------------------
+
+    def bytes_served(self, side: str, write: bool) -> int:
+        return sum(c.bytes_served(side, write) for c in self.controllers)
+
+    def reads(self, side: str) -> int:
+        return sum(c._served[(side, False)].value for c in self.controllers)
+
+    def writes(self, side: str) -> int:
+        return sum(c._served[(side, True)].value for c in self.controllers)
+
+    def mean_read_latency(self, side: str) -> float:
+        total = sum(c._lat[side].total for c in self.controllers)
+        n = sum(c._lat[side].n for c in self.controllers)
+        return total / n if n else 0.0
+
+    def row_hit_rate(self) -> float:
+        hits = sum(b.row_hits for c in self.controllers for b in c.banks)
+        total = hits + sum(b.row_misses + b.row_conflicts
+                           for c in self.controllers for b in c.banks)
+        return hits / total if total else 0.0
+
+    def snapshot(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for c in self.controllers:
+            for k, v in c.stats.snapshot().items():
+                out[k] = out.get(k, 0) + v
+        return out

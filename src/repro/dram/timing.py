@@ -1,0 +1,57 @@
+"""DDR3-2133 timing helpers.
+
+:class:`repro.config.DramTiming` holds the raw parameters (in DRAM
+command-bus cycles); this module converts them to simulator ticks and
+derives the per-access latency classes used by the bank state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DRAM_CYCLE_TICKS, DramTiming
+
+
+@dataclass(frozen=True)
+class TimingTicks:
+    """All DDR timing values converted to simulator ticks."""
+
+    t_cas: int
+    t_rcd: int
+    t_rp: int
+    t_ras: int
+    burst: int
+    t_wr: int
+    t_wtr: int
+    t_rtp: int
+    t_refi: int = 0
+    t_rfc: int = 0
+    t_faw: int = 0
+
+    @classmethod
+    def from_timing(cls, t: DramTiming,
+                    cycle_ticks: int = DRAM_CYCLE_TICKS) -> "TimingTicks":
+        return cls(
+            t_cas=t.t_cas * cycle_ticks,
+            t_rcd=t.t_rcd * cycle_ticks,
+            t_rp=t.t_rp * cycle_ticks,
+            t_ras=t.t_ras * cycle_ticks,
+            burst=t.burst_cycles * cycle_ticks,
+            t_wr=t.t_wr * cycle_ticks,
+            t_wtr=t.t_wtr * cycle_ticks,
+            t_rtp=t.t_rtp * cycle_ticks,
+            t_refi=t.t_refi * cycle_ticks,
+            t_rfc=t.t_rfc * cycle_ticks,
+            t_faw=t.t_faw * cycle_ticks,
+        )
+
+    def access_ticks(self, row_state: str) -> int:
+        """Command-to-data latency for a request hitting a bank whose row
+        buffer is in ``row_state`` ('hit' | 'closed' | 'conflict')."""
+        if row_state == "hit":
+            return self.t_cas
+        if row_state == "closed":
+            return self.t_rcd + self.t_cas
+        if row_state == "conflict":
+            return self.t_rp + self.t_rcd + self.t_cas
+        raise ValueError(f"unknown row state {row_state!r}")

@@ -1,0 +1,8 @@
+"""GPU substrate: rendering pipeline, internal caches, game workloads."""
+
+from repro.gpu.workloads import GameWorkload, GAME_WORKLOADS, workload_for
+from repro.gpu.framebuffer import RenderTarget, FrameDescription
+from repro.gpu.pipeline import GpuPipeline
+
+__all__ = ["GameWorkload", "GAME_WORKLOADS", "workload_for",
+           "RenderTarget", "FrameDescription", "GpuPipeline"]

@@ -1,0 +1,58 @@
+"""Shader-core occupancy model.
+
+The pipeline models the GPU at the memory-transaction level; this
+module reconstructs the *shader-side* view CM-BAL reasons about — how
+many warp contexts are ready vs blocked on memory — from the pipeline's
+observable counters, per Table I's machine (64 cores x 64 contexts).
+
+An outstanding LLC fill blocks roughly one warp (the paper's GPU blocks
+a context on issuing a texture load); MSHR-full stalls mean the front
+end itself is blocked, i.e. *zero* ready warps at that instant.  The
+estimator samples those signals into a ready-warp average per window,
+which is exactly the statistic CM-BAL's controller consumes.
+"""
+
+from __future__ import annotations
+
+from repro.config import GpuConfig
+from repro.gpu.pipeline import GpuPipeline
+
+
+class WarpOccupancyModel:
+    """Windowed ready-warp estimation over a live pipeline."""
+
+    def __init__(self, pipeline: GpuPipeline,
+                 cfg: GpuConfig | None = None):
+        self.pipeline = pipeline
+        self.cfg = cfg or GpuConfig()
+        #: warps resident per shader core at full concurrency
+        self.max_warps = (self.cfg.max_thread_contexts //
+                          max(self.cfg.shader_cores, 1))
+        self._last_stalls = 0
+        self._last_reads = 0
+        self.samples: list[float] = []
+
+    def ready_warps_now(self) -> float:
+        """Instantaneous estimate of ready warps per core."""
+        blocked = self.pipeline.outstanding / max(self.cfg.shader_cores,
+                                                  1)
+        return max(self.max_warps - blocked, 0.0)
+
+    def sample_window(self) -> dict[str, float]:
+        """Close a window: ready-warp average + front-end stall rate."""
+        stalls = self.pipeline.stats.get("mshr_stalls")
+        reads = self.pipeline.stats.get("llc_reads")
+        d_stalls = stalls - self._last_stalls
+        d_reads = reads - self._last_reads
+        self._last_stalls, self._last_reads = stalls, reads
+        stall_rate = d_stalls / d_reads if d_reads > 0 else 0.0
+        # a stalled front end has no ready warps for the stall's span
+        ready = self.ready_warps_now() * max(1.0 - stall_rate, 0.0)
+        self.samples.append(ready)
+        return {"ready_warps": ready, "stall_rate": stall_rate,
+                "reads": float(d_reads)}
+
+    def average_ready_warps(self) -> float:
+        if not self.samples:
+            return float(self.max_warps)
+        return sum(self.samples) / len(self.samples)

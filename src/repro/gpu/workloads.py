@@ -1,0 +1,135 @@
+"""The fourteen 3D-rendering workloads of Table II, as generative models.
+
+The paper replays DirectX/OpenGL API traces of real games on the Attila
+GPU simulator.  We have neither traces nor Attila, so each game becomes a
+:class:`GameWorkload`: a parametric description of its rendering work —
+render-target-plane (RTP) structure, per-tile access mix, texture
+footprint, overdraw, compute share, and frame-to-frame variability —
+calibrated so that (a) the *nominal standalone FPS* matches Table II and
+(b) the qualitative mix matches Section IV's characterisation (texture
+≈ 25% of GPU LLC traffic on average, ROP colour/depth dominant, writes
+can exceed reads for DOOM3/HL2-style pipelines).
+
+Per-game time scaling (see DESIGN.md): a game's design-point frame is
+``scale.gpu_frame_cycles`` GPU cycles, so measured FPS is
+
+    fps = fps_nominal * gpu_frame_cycles / measured_frame_gpu_cycles
+
+which equals ``fps_nominal`` exactly when a frame takes its design-point
+time, falls when contention stretches the frame, and rises if it renders
+faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+KB = 1024
+
+#: resolution classes of Table II (full-size; tiles sample these buffers)
+RESOLUTIONS = {"R1": (1280, 1024), "R2": (1920, 1200), "R3": (1600, 1200)}
+
+
+@dataclass(frozen=True)
+class GameWorkload:
+    name: str
+    api: str                    # "DX" | "OGL"
+    frames: tuple[int, int]     # frame range from Table II
+    resolution: str             # R1 | R2 | R3
+    fps_nominal: float          # Table II standalone FPS
+    #: RTPs per frame (full-screen update batches; >1 = overdraw passes)
+    n_rtp: int
+    #: GPU-internal (pre-filter) memory accesses per RTT update
+    tex_per_tile: int
+    depth_per_tile: int
+    color_per_tile: int
+    vertex_per_tile: int
+    #: fraction of the design-point frame that is pure compute
+    compute_frac: float
+    #: GPU-internal (pre-filter) accesses per GPU cycle at the design
+    #: point — the game's memory intensity; sets tiles/frame.  The
+    #: LLC-bound rate emerges after internal-cache filtering (~3x less).
+    llc_intensity: float
+    #: texture working set (drives texture LLC footprint / reuse)
+    texture_bytes: int
+    #: per-frame work jitter (relative sigma; FRPU must ride this out)
+    frame_jitter: float = 0.04
+    #: fraction of RTTs whose work doubles (hot spots / particle areas)
+    hot_tile_frac: float = 0.08
+
+    @property
+    def width(self) -> int:
+        return RESOLUTIONS[self.resolution][0]
+
+    @property
+    def height(self) -> int:
+        return RESOLUTIONS[self.resolution][1]
+
+    def accesses_per_tile(self) -> int:
+        return (self.tex_per_tile + self.depth_per_tile +
+                self.color_per_tile + self.vertex_per_tile)
+
+    def time_scale(self, gpu_frame_cycles: int) -> float:
+        """S_game: real-seconds-per-simulated-frame divisor (DESIGN.md)."""
+        return 1e9 / (self.fps_nominal * gpu_frame_cycles)
+
+
+def _g(name, api, frames, res, fps, n_rtp, tex, depth, color, vert,
+       compute, intensity, tex_mb, jitter=0.04):
+    return GameWorkload(name, api, frames, res, fps, n_rtp, tex, depth,
+                        color, vert, compute, intensity,
+                        int(tex_mb * MB), jitter)
+
+
+#: Table II, in paper order.  Access mixes: ROP-heavy pipelines
+#: (DOOM3/HL2) have depth+colour dominating and high write share; the
+#: 3DMark HDR tests are texture/shader heavy; Crysis is heavy everywhere.
+GAME_WORKLOADS: dict[str, GameWorkload] = {g.name: g for g in [
+    _g("3DMark06GT1",  "DX",  (670, 671), "R1",   6.0, 5, 26, 30, 28, 6,
+       0.92, 0.80, 48),
+    _g("3DMark06GT2",  "DX",  (500, 501), "R1",  13.8, 4, 24, 28, 26, 6,
+       0.92, 0.75, 40),
+    _g("3DMark06HDR1", "DX",  (600, 601), "R1",  16.0, 5, 34, 22, 26, 5,
+       0.93, 0.72, 56),
+    _g("3DMark06HDR2", "DX",  (550, 551), "R1",  20.8, 5, 32, 22, 26, 5,
+       0.93, 0.72, 56),
+    _g("COD2",         "DX",  (208, 209), "R2",  18.1, 4, 26, 28, 28, 6,
+       0.92, 0.75, 44),
+    _g("Crysis",       "DX",  (400, 401), "R2",   6.6, 6, 30, 30, 30, 7,
+       0.91, 0.82, 64),
+    _g("DOOM3",        "OGL", (300, 314), "R3",  81.0, 4, 20, 34, 30, 5,
+       0.94, 0.70, 28, jitter=0.05),
+    _g("HL2",          "DX",  (25, 33),   "R3",  75.9, 3, 22, 32, 30, 5,
+       0.94, 0.68, 28, jitter=0.06),
+    _g("L4D",          "DX",  (601, 605), "R1",  32.5, 4, 26, 28, 26, 6,
+       0.93, 0.72, 40),
+    _g("NFS",          "DX",  (10, 17),   "R1",  62.3, 3, 24, 28, 28, 5,
+       0.94, 0.65, 32, jitter=0.06),
+    _g("Quake4",       "OGL", (300, 309), "R3",  80.8, 4, 20, 34, 30, 5,
+       0.94, 0.68, 28),
+    _g("COR",          "OGL", (253, 267), "R1", 111.0, 3, 22, 30, 28, 5,
+       0.95, 0.58, 24, jitter=0.05),
+    _g("UT2004",       "OGL", (200, 217), "R3", 130.7, 2, 22, 28, 28, 5,
+       0.95, 0.55, 20, jitter=0.07),
+    _g("UT3",          "DX",  (955, 956), "R1",  26.8, 5, 28, 28, 28, 6,
+       0.93, 1.10, 48),
+]}
+
+#: paper order, for table/figure axes
+GAME_ORDER = ["3DMark06GT1", "3DMark06GT2", "3DMark06HDR1", "3DMark06HDR2",
+              "COD2", "Crysis", "DOOM3", "HL2", "L4D", "NFS", "Quake4",
+              "COR", "UT2004", "UT3"]
+
+#: the six games Table II shows above the 40 FPS QoS target — the set
+#: Fig. 9–12 throttle; the remaining eight are the Fig. 13–14 set
+HIGH_FPS_GAMES = ["DOOM3", "HL2", "NFS", "Quake4", "COR", "UT2004"]
+LOW_FPS_GAMES = [g for g in GAME_ORDER if g not in HIGH_FPS_GAMES]
+
+
+def workload_for(name: str) -> GameWorkload:
+    try:
+        return GAME_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown game {name!r}; known: {GAME_ORDER}") \
+            from None

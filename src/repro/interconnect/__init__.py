@@ -1,0 +1,5 @@
+"""On-chip interconnect models."""
+
+from repro.interconnect.ring import RingInterconnect
+
+__all__ = ["RingInterconnect"]

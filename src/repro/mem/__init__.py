@@ -1,0 +1,13 @@
+"""Memory hierarchy: caches, replacement policies, MSHRs, the shared LLC."""
+
+from repro.mem.request import MemRequest, CPU_SOURCES, GPU_SOURCE
+from repro.mem.cache import Cache, Line
+from repro.mem.replacement import make_policy, ReplacementPolicy
+from repro.mem.mshr import MshrFile
+from repro.mem.llc import SharedLLC
+
+__all__ = [
+    "MemRequest", "CPU_SOURCES", "GPU_SOURCE",
+    "Cache", "Line", "make_policy", "ReplacementPolicy",
+    "MshrFile", "SharedLLC",
+]

@@ -1,0 +1,175 @@
+"""Functional set-associative cache.
+
+Caches are modelled *functionally*: a lookup mutates tag state and returns
+hit/miss plus any eviction; timing (lookup latency, miss handling) is added
+by the owning component.  This keeps the per-access cost to a couple of
+dict operations — the key to simulating millions of accesses in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import CacheConfig
+from repro.mem.replacement import make_policy
+from repro.sim.stats import StatSet
+
+
+class Line:
+    """One cache line's bookkeeping state."""
+
+    __slots__ = ("tag", "dirty", "owner", "repl", "kind", "reused")
+
+    def __init__(self, tag: int, owner: str, kind: str = "data"):
+        self.tag = tag
+        self.dirty = False
+        self.owner = owner          # "cpu<i>" or "gpu" (LLC cares)
+        self.kind = kind            # GPU traffic class, for stats
+        self.repl = 0               # replacement-policy private field
+        self.reused = False         # hit at least once after the fill
+
+    def __repr__(self) -> str:
+        d = "D" if self.dirty else " "
+        return f"Line(tag=0x{self.tag:x}{d} {self.owner})"
+
+
+class Eviction:
+    """What fell out of the cache on an allocation."""
+
+    __slots__ = ("addr", "dirty", "owner", "kind", "reused")
+
+    def __init__(self, addr: int, dirty: bool, owner: str, kind: str,
+                 reused: bool = False):
+        self.addr = addr
+        self.dirty = dirty
+        self.owner = owner
+        self.kind = kind
+        self.reused = reused
+
+
+class Cache:
+    """Set-associative, write-back, write-allocate functional cache."""
+
+    def __init__(self, cfg: CacheConfig, *, seed: int = 0):
+        self.cfg = cfg
+        self.n_sets = cfg.sets
+        self.ways = cfg.ways
+        self.line_bytes = cfg.line_bytes
+        self._line_shift = cfg.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != cfg.line_bytes:
+            raise ValueError("line size must be a power of two")
+        self._set_mask = self.n_sets - 1
+        if self.n_sets & self._set_mask:
+            raise ValueError("set count must be a power of two")
+        self.policy = make_policy(cfg.policy, seed=seed)
+        # one dict per set: tag -> Line
+        self._sets: list[dict[int, Line]] = [dict() for _ in range(self.n_sets)]
+        self.stats = StatSet(cfg.name)
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evict_dirty = self.stats.counter("evictions_dirty")
+        self._evict_clean = self.stats.counter("evictions_clean")
+
+    # -- address helpers ---------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return (addr >> self._line_shift) & self._set_mask
+
+    def tag_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def addr_of(self, tag: int) -> int:
+        return tag << self._line_shift
+
+    # -- operations --------------------------------------------------------
+
+    def probe(self, addr: int) -> Optional[Line]:
+        """Lookup with no state change (no replacement update)."""
+        return self._sets[self.set_index(addr)].get(self.tag_of(addr))
+
+    def lookup(self, addr: int, write: bool = False) -> Optional[Line]:
+        """Lookup, updating replacement state and dirty bit on hit."""
+        line = self._sets[self.set_index(addr)].get(self.tag_of(addr))
+        if line is not None:
+            self._hits.inc()
+            self.policy.on_hit(line)
+            line.reused = True
+            if write:
+                line.dirty = True
+        else:
+            self._misses.inc()
+        return line
+
+    def allocate(self, addr: int, *, write: bool = False,
+                 owner: str = "cpu0", kind: str = "data",
+                 repl_override: Optional[int] = None) -> Optional[Eviction]:
+        """Insert ``addr``; return the eviction it caused, if any.
+
+        ``repl_override`` sets the new line's replacement state directly
+        (e.g. an SRRIP insertion RRPV chosen by an LLC management policy
+        such as TAP or DRP) instead of the policy's default insertion.
+        The caller is responsible for handling the writeback of a dirty
+        eviction and any inclusion actions.
+        """
+        s = self._sets[self.set_index(addr)]
+        tag = self.tag_of(addr)
+        if tag in s:                 # already present: treat as touch
+            line = s[tag]
+            self.policy.on_hit(line)
+            if write:
+                line.dirty = True
+            return None
+        evicted: Optional[Eviction] = None
+        if len(s) >= self.ways:
+            victim = self.policy.victim(list(s.values()))
+            del s[victim.tag]
+            if victim.dirty:
+                self._evict_dirty.inc()
+            else:
+                self._evict_clean.inc()
+            evicted = Eviction(self.addr_of(victim.tag), victim.dirty,
+                               victim.owner, victim.kind, victim.reused)
+        line = Line(tag, owner, kind)
+        line.dirty = write
+        s[tag] = line
+        self.policy.on_fill(line)
+        if repl_override is not None:
+            line.repl = repl_override
+        return evicted
+
+    def invalidate(self, addr: int) -> Optional[Line]:
+        """Drop the line if present; returns it (caller checks dirty)."""
+        return self._sets[self.set_index(addr)].pop(self.tag_of(addr), None)
+
+    def flush_owner(self, owner: str) -> int:
+        """Invalidate every line belonging to ``owner`` (test helper)."""
+        n = 0
+        for s in self._sets:
+            for tag in [t for t, ln in s.items() if ln.owner == owner]:
+                del s[tag]
+                n += 1
+        return n
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def occupancy_by_owner(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self._sets:
+            for ln in s.values():
+                out[ln.owner] = out.get(ln.owner, 0) + 1
+        return out
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    def miss_rate(self) -> float:
+        total = self._hits.value + self._misses.value
+        return self._misses.value / total if total else 0.0

@@ -1,0 +1,211 @@
+"""The shared last-level cache.
+
+Table I: 16 MB, 16-way, 64 B lines, 10-cycle lookup, two-bit SRRIP,
+*inclusive for CPU lines* (evicting a CPU line back-invalidates that
+core's private caches) and *non-inclusive for GPU lines*.
+
+Timing model: a request arrives (the interconnect delay is paid by the
+sender), pays the lookup latency, and on a hit completes after the
+response delay.  Misses allocate an MSHR entry and go to DRAM through the
+``dram_send`` hook; when the MSHR file is full, requests wait in an input
+queue (this is the backpressure that makes gated GPU traffic pile up in
+GPU-internal buffers, exactly the effect Section III-B describes).
+
+Policy hooks
+------------
+``bypass_fn(req)``   — return True to not allocate a GPU read fill (HeLM,
+                       and the Fig. 3 "bypass all" motivation experiment).
+``back_invalidate``  — called with (owner, line_addr) when an inclusive
+                       CPU line is evicted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.config import LlcConfig
+from repro.mem.cache import Cache
+from repro.mem.mshr import MshrFile
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatSet
+
+
+class SharedLLC:
+    def __init__(self, sim: Simulator, cfg: LlcConfig,
+                 dram_send: Callable[[MemRequest], None],
+                 response_delay: Callable[[MemRequest], int] = lambda r: 0):
+        self.sim = sim
+        self.cfg = cfg
+        self.cache = Cache(cfg.cache_config())
+        self.mshr = MshrFile(cfg.mshr_entries, "llc_mshr")
+        self.dram_send = dram_send
+        self.response_delay = response_delay
+        self.bypass_fn: Optional[Callable[[MemRequest], bool]] = None
+        #: LLC-management hook: given the primary request of a fill,
+        #: return an SRRIP insertion RRPV override (or None for the
+        #: policy default).  Used by TAP-/DRP-style policies.
+        self.fill_rrpv_fn: Optional[Callable[[MemRequest],
+                                             Optional[int]]] = None
+        #: hook observing every eviction (owner, kind, was_reused) —
+        #: DRP-style policies learn reuse probabilities from this
+        self.eviction_observer: Optional[Callable[[str, str], None]] = None
+        self.back_invalidate: Optional[Callable[[str, int], None]] = None
+        self._wait: deque[MemRequest] = deque()
+        self._bypass_lines: set[int] = set()
+
+        self.stats = StatSet("llc")
+        s = self.stats
+        self._acc = {"cpu": s.counter("cpu_accesses"),
+                     "gpu": s.counter("gpu_accesses")}
+        self._miss = {"cpu": s.counter("cpu_misses"),
+                      "gpu": s.counter("gpu_misses")}
+        self._hit = {"cpu": s.counter("cpu_hits"),
+                     "gpu": s.counter("gpu_hits")}
+        self._wb = s.counter("writebacks_to_dram")
+        self._backinv = s.counter("back_invalidations")
+        self._bypassed = s.counter("gpu_bypassed_fills")
+        self._gpu_kind: dict[str, object] = {}
+
+    # -- helpers -------------------------------------------------------
+
+    def _side(self, req: MemRequest) -> str:
+        return "gpu" if req.is_gpu else "cpu"
+
+    def line_addr(self, addr: int) -> int:
+        return addr & ~(self.cfg.line_bytes - 1)
+
+    def _count_kind(self, req: MemRequest) -> None:
+        if req.is_gpu:
+            c = self._gpu_kind.get(req.kind)
+            if c is None:
+                c = self._gpu_kind[req.kind] = self.stats.counter(
+                    f"gpu_{req.kind}_accesses")
+            c.inc()
+
+    # -- entry point ----------------------------------------------------
+
+    def access(self, req: MemRequest) -> None:
+        """A request arrives at the LLC controller."""
+        side = self._side(req)
+        self._acc[side].inc()
+        self._count_kind(req)
+        addr = self.line_addr(req.addr)
+
+        if req.is_write:
+            self._write(req, addr)
+            return
+
+        line = self.cache.lookup(addr)
+        if line is not None:
+            self._hit[side].inc()
+            delay = self.cfg.latency + self.response_delay(req)
+            self.sim.after(delay, req.complete)
+            return
+        self._miss[side].inc()
+        self._read_miss(req, addr)
+
+    # -- write path ------------------------------------------------------
+
+    def _write(self, req: MemRequest, addr: int) -> None:
+        """Writebacks from L2s / GPU ROP caches.
+
+        CPU lines are inclusive so writebacks normally hit; a missing
+        line (already evicted + back-invalidated, or GPU non-inclusive
+        victim) is allocated dirty without a DRAM fetch — writebacks are
+        full-line.
+        """
+        line = self.cache.lookup(addr, write=True)
+        side = self._side(req)
+        if line is not None:
+            self._hit[side].inc()
+        else:
+            self._miss[side].inc()
+            ev = self.cache.allocate(addr, write=True, owner=req.source,
+                                     kind=req.kind)
+            if ev is not None:
+                self._handle_eviction(ev)
+        delay = self.cfg.latency + self.response_delay(req)
+        if req.on_done is not None:
+            self.sim.after(delay, req.complete)
+
+    # -- read-miss path ----------------------------------------------------
+
+    def _read_miss(self, req: MemRequest, addr: int) -> None:
+        if req.is_gpu and self.bypass_fn is not None and self.bypass_fn(req):
+            req.bypass = True
+            self._bypassed.inc()
+        if self.mshr.full:
+            self.mshr.note_full()
+            self._wait.append(req)
+            return
+        self._start_miss(req, addr)
+
+    def _start_miss(self, req: MemRequest, addr: int) -> None:
+        entry = self.mshr.allocate(addr, req, self.sim.now)
+        if entry is None:
+            return                    # merged onto an in-flight fill
+        if req.bypass:
+            self._bypass_lines.add(addr)
+        fill = MemRequest(addr, False, req.source, req.kind,
+                          on_done=lambda _f: self._fill_done(addr),
+                          created_at=self.sim.now)
+        self.sim.after(self.cfg.latency, lambda: self.dram_send(fill))
+
+    def _fill_done(self, addr: int) -> None:
+        waiters = self.mshr.complete(addr)
+        bypass = addr in self._bypass_lines
+        if bypass:
+            self._bypass_lines.discard(addr)
+        else:
+            primary = waiters[0]
+            override = (self.fill_rrpv_fn(primary)
+                        if self.fill_rrpv_fn is not None else None)
+            ev = self.cache.allocate(addr, owner=primary.source,
+                                     kind=primary.kind,
+                                     repl_override=override)
+            if ev is not None:
+                self._handle_eviction(ev)
+        for req in waiters:
+            delay = self.response_delay(req)
+            if delay:
+                self.sim.after(delay, req.complete)
+            else:
+                req.complete()
+        # MSHR slots freed: admit queued requests (already counted as
+        # misses on arrival; don't re-count)
+        while self._wait and not self.mshr.full:
+            queued = self._wait.popleft()
+            qaddr = self.line_addr(queued.addr)
+            if self.cache.probe(qaddr) is not None:
+                # another fill satisfied it while it queued
+                self.sim.after(self.cfg.latency +
+                               self.response_delay(queued), queued.complete)
+            else:
+                self._start_miss(queued, qaddr)
+
+    # -- eviction handling ---------------------------------------------------
+
+    def _handle_eviction(self, ev) -> None:
+        if self.eviction_observer is not None:
+            self.eviction_observer(ev.owner, ev.kind, ev.reused)
+        core_dirty = False
+        if ev.owner.startswith("cpu") and self.back_invalidate is not None:
+            self._backinv.inc()
+            core_dirty = bool(self.back_invalidate(ev.owner, ev.addr))
+        if ev.dirty or core_dirty:
+            self._wb.inc()
+            wb = MemRequest(ev.addr, True, ev.owner, ev.kind,
+                            created_at=self.sim.now)
+            self.dram_send(wb)
+
+    # -- introspection --------------------------------------------------------
+
+    def gpu_occupancy(self) -> int:
+        return sum(n for o, n in self.cache.occupancy_by_owner().items()
+                   if o == "gpu")
+
+    def cpu_occupancy(self) -> int:
+        return sum(n for o, n in self.cache.occupancy_by_owner().items()
+                   if o.startswith("cpu"))

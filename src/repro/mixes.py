@@ -1,0 +1,80 @@
+"""Heterogeneous workload mixes (Table III).
+
+``M1``-``M14``: four SPEC CPU 2006 applications + one GPU application,
+used on the 4-CPU + 1-GPU configuration of Section VI.
+``W1``-``W14``: one SPEC application + one GPU application, used for the
+motivation experiments of Section II (1 CPU + 1 GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.spec import profile_for
+from repro.gpu.workloads import HIGH_FPS_GAMES, workload_for
+
+
+@dataclass(frozen=True)
+class Mix:
+    name: str
+    gpu_app: str | None
+    cpu_apps: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.gpu_app is not None:
+            workload_for(self.gpu_app)      # validate
+        for sid in self.cpu_apps:
+            profile_for(sid)
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self.cpu_apps)
+
+    def cpu_label(self) -> str:
+        return ",".join(str(s) for s in self.cpu_apps)
+
+
+_TABLE_III = [
+    # (game, M-mix spec ids, W-mix spec id)
+    ("3DMark06GT1",  (403, 450, 481, 482), 481),
+    ("3DMark06GT2",  (403, 429, 434, 462), 471),
+    ("3DMark06HDR1", (401, 437, 450, 470), 470),
+    ("3DMark06HDR2", (401, 462, 470, 471), 482),
+    ("COD2",         (401, 437, 450, 470), 470),
+    ("Crysis",       (429, 433, 434, 482), 429),
+    ("DOOM3",        (410, 433, 462, 471), 462),
+    ("HL2",          (410, 429, 433, 434), 403),
+    ("L4D",          (410, 433, 462, 471), 462),
+    ("NFS",          (410, 429, 433, 471), 437),
+    ("Quake4",       (401, 437, 450, 481), 410),
+    ("COR",          (403, 437, 450, 481), 434),
+    ("UT2004",       (401, 437, 462, 470), 450),
+    ("UT3",          (403, 437, 450, 481), 434),
+]
+
+#: M1..M14 — the evaluation mixes (four CPU apps + one GPU app)
+MIXES_M: dict[str, Mix] = {
+    f"M{i+1}": Mix(f"M{i+1}", game, cpus)
+    for i, (game, cpus, _w) in enumerate(_TABLE_III)
+}
+
+#: W1..W14 — the motivation mixes (one CPU app + one GPU app)
+MIXES_W: dict[str, Mix] = {
+    f"W{i+1}": Mix(f"W{i+1}", game, (w,))
+    for i, (game, _cpus, w) in enumerate(_TABLE_III)
+}
+
+#: mixes whose GPU application exceeds the 40 FPS target (Fig. 9-12 set)
+HIGH_FPS_MIXES = [name for name, m in MIXES_M.items()
+                  if m.gpu_app in HIGH_FPS_GAMES]
+#: mixes whose GPU application stays below target (Fig. 13-14 set)
+LOW_FPS_MIXES = [name for name, m in MIXES_M.items()
+                 if m.gpu_app not in HIGH_FPS_GAMES]
+
+
+def mix(name: str) -> Mix:
+    if name in MIXES_M:
+        return MIXES_M[name]
+    if name in MIXES_W:
+        return MIXES_W[name]
+    raise KeyError(f"unknown mix {name!r} (M1..M14, W1..W14)")

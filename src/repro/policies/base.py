@@ -1,0 +1,36 @@
+"""Policy interface.
+
+A policy configures the machine in two places:
+
+* :meth:`scheduler_factory` — which DRAM access scheduler each memory
+  controller gets (called once per channel at build time);
+* :meth:`attach` — installed after the system is built: LLC bypass
+  hooks, QoS controllers, periodic controllers, GPU gates.
+
+Policies must be stateless across systems — a fresh instance per run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from repro.dram.schedulers import FrFcfsScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import HeterogeneousSystem
+
+
+class Policy:
+    name = "base"
+
+    def scheduler_factory(self) -> Callable[[int], object]:
+        return lambda ch: FrFcfsScheduler()
+
+    def attach(self, system: "HeterogeneousSystem") -> None:
+        """Install hooks; the system is fully built at this point."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,9 @@
+"""Baseline: plain FR-FCFS, SRRIP LLC, no throttling (Table I machine)."""
+
+from __future__ import annotations
+
+from repro.policies.base import Policy
+
+
+class BaselinePolicy(Policy):
+    name = "baseline"

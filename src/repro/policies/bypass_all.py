@@ -1,0 +1,19 @@
+"""Force ALL GPU read-miss fills to bypass the LLC.
+
+This is the Section II motivation experiment behind Fig. 3: it frees LLC
+capacity for the CPU but inflates GPU DRAM traffic (every lost reuse
+becomes a DRAM access), so CPU applications that cannot use the extra
+capacity *lose* performance to the added bandwidth pressure — the
+paper's argument for why bypass-only schemes (HeLM) are not enough.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import Policy
+
+
+class BypassAllPolicy(Policy):
+    name = "bypass-all"
+
+    def attach(self, system) -> None:
+        system.llc.bypass_fn = lambda req: True

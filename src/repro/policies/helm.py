@@ -1,0 +1,67 @@
+"""HeLM (Mekkat et al., PACT'13): selective LLC bypass of GPU read
+misses from latency-tolerant shader cores.
+
+HeLM samples the GPU's latency tolerance and, while the GPU is deemed
+tolerant, bypasses its read-miss fills so the freed LLC capacity shifts
+to the CPU.  We estimate tolerance the way HeLM's intuition prescribes:
+a GPU whose front end rarely blocks on full MSHRs (plenty of thread-level
+parallelism left) is tolerant.  Tolerance is re-sampled periodically from
+the pipeline's MSHR-stall and issue counters.
+
+Shader-side read streams (texture, vertex, shader instructions, z-hier)
+bypass while tolerant; ROP (colour/depth) reads additionally bypass in
+the *aggressive* mode the paper attributes to HeLM's behaviour on these
+workloads.  The expected pathology (Sections II and VI): bypass kills
+GPU LLC reuse, DRAM read traffic rises, and both CPU and GPU lose to
+bandwidth pressure — CPU gains stay small (+3-4%) and GPU drops ~7% FPS
+on low-FPS mixes.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPU_CYCLE_TICKS
+from repro.policies.base import Policy
+
+SHADER_KINDS = frozenset({"texture", "vertex", "shader_i", "zhier"})
+
+
+class HelmPolicy(Policy):
+    name = "helm"
+
+    def __init__(self, sample_interval_gpu_cycles: int = 4096,
+                 stall_tolerance: float = 0.05, aggressive: bool = True):
+        self.sample_interval = sample_interval_gpu_cycles
+        self.stall_tolerance = stall_tolerance
+        self.aggressive = aggressive
+        self.tolerant = True          # optimistic start, like HeLM's sampler
+        self._last_stalls = 0
+        self._last_reads = 0
+        self.samples = 0
+
+    def attach(self, system) -> None:
+        self._system = system
+        system.llc.bypass_fn = self._bypass
+        if system.gpu is not None:
+            interval = self.sample_interval * GPU_CYCLE_TICKS
+            system.sim.after(interval, lambda: self._sample(interval))
+
+    def _bypass(self, req) -> bool:
+        if not self.tolerant:
+            return False
+        if req.kind in SHADER_KINDS:
+            return True
+        return self.aggressive        # ROP reads too, in aggressive mode
+
+    def _sample(self, interval: int) -> None:
+        gpu = self._system.gpu
+        if gpu is None or gpu.stopped:
+            return
+        stalls = gpu.stats.get("mshr_stalls")
+        reads = gpu.stats.get("llc_reads")
+        d_stalls = stalls - self._last_stalls
+        d_reads = reads - self._last_reads
+        self._last_stalls, self._last_reads = stalls, reads
+        if d_reads > 0:
+            self.tolerant = (d_stalls / d_reads) <= self.stall_tolerance
+        self.samples += 1
+        self._system.sim.after(interval, lambda: self._sample(interval))

@@ -1,0 +1,27 @@
+"""Staged memory scheduling (Ausavarungnirun et al., ISCA'12).
+
+``SMS-0.9`` uses shortest-batch-first with probability 0.9 (favouring the
+latency-sensitive CPU jobs); ``SMS-0`` always round-robins (fairness for
+the bandwidth-sensitive GPU).  Both pay the batch-formation delay, which
+is what costs the GPU frame rate in Figs. 12-13.
+"""
+
+from __future__ import annotations
+
+from repro.dram.schedulers import SmsScheduler
+from repro.policies.base import Policy
+
+
+class SmsPolicy(Policy):
+    def __init__(self, p_sjf: float = 0.9, batch_cap: int = 16,
+                 age_limit: int = 2000, seed: int = 11):
+        self.p_sjf = p_sjf
+        self.batch_cap = batch_cap
+        self.age_limit = age_limit
+        self.seed = seed
+        self.name = f"sms-{p_sjf:g}"
+
+    def scheduler_factory(self):
+        return lambda ch: SmsScheduler(
+            p_sjf=self.p_sjf, batch_cap=self.batch_cap,
+            age_limit=self.age_limit, seed=self.seed + ch)

@@ -1,0 +1,6 @@
+"""Simulation kernel, system assembly, and experiment orchestration."""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.stats import Counter, StatSet
+
+__all__ = ["Simulator", "Event", "Counter", "StatSet"]

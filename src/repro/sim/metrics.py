@@ -1,0 +1,123 @@
+"""Result harvesting and the paper's performance metrics.
+
+* CPU mixes: *weighted speedup* — sum over apps of IPC_shared/IPC_alone
+  (Section V-B), reported normalised to the baseline policy.
+* GPU: average frame rate over the rendered sequence (warm-up frame
+  excluded).
+* Figs. 10-11 metrics: LLC miss counts per side, DRAM read/write bytes
+  per side.
+* Fig. 14 metric: equal-weight geometric combination of the normalised
+  CPU and GPU performance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import HeterogeneousSystem
+
+
+@dataclass
+class RunResult:
+    """Everything a figure/table needs from one simulation run."""
+
+    mix_name: str
+    policy_name: str
+    scale_name: str
+    ticks: int
+    cpu_apps: tuple[int, ...]
+    cpu_ipcs: dict[int, float]
+    gpu_app: Optional[str]
+    fps: float
+    frames_rendered: int
+    frame_cycles: list[int]
+    llc: dict[str, int]
+    dram: dict[str, int]
+    dram_gpu_read_bytes: int
+    dram_gpu_write_bytes: int
+    dram_cpu_read_bytes: int
+    dram_cpu_write_bytes: int
+    dram_row_hit_rate: float
+    gpu_stats: dict[str, int] = field(default_factory=dict)
+    gpu_texture_share: float = 0.0
+    qos: dict[str, float] = field(default_factory=dict)
+    frpu_errors: list[float] = field(default_factory=list)
+
+    @property
+    def cpu_llc_misses(self) -> int:
+        return self.llc.get("cpu_misses", 0)
+
+    @property
+    def gpu_llc_misses(self) -> int:
+        return self.llc.get("gpu_misses", 0)
+
+    @property
+    def gpu_dram_bytes(self) -> int:
+        return self.dram_gpu_read_bytes + self.dram_gpu_write_bytes
+
+
+def collect(system: "HeterogeneousSystem") -> RunResult:
+    """Harvest a finished system into a :class:`RunResult`."""
+    gpu = system.gpu
+    qos_stats: dict[str, float] = {}
+    errors: list[float] = []
+    qos = getattr(system.policy, "qos", None)
+    if qos is not None:
+        qos_stats = {k: float(v) for k, v in qos.stats.snapshot().items()}
+        qos_stats["frames_learned"] = qos.frpu.frames_learned
+        qos_stats["frames_predicted"] = qos.frpu.frames_predicted
+        errors = qos.frpu.percent_errors()
+    return RunResult(
+        mix_name=system.mix.name,
+        policy_name=system.policy.name,
+        scale_name=system.cfg.scale.name,
+        ticks=system.sim.now,
+        cpu_apps=system.mix.cpu_apps,
+        cpu_ipcs=system.cpu_ipcs(),
+        gpu_app=system.mix.gpu_app,
+        fps=system.gpu_fps(),
+        frames_rendered=gpu.frames_completed if gpu else 0,
+        frame_cycles=[f.cycles for f in gpu.completed_frames] if gpu else [],
+        llc=system.llc.stats.snapshot(),
+        dram=system.dram.snapshot(),
+        dram_gpu_read_bytes=system.dram.bytes_served("gpu", False),
+        dram_gpu_write_bytes=system.dram.bytes_served("gpu", True),
+        dram_cpu_read_bytes=system.dram.bytes_served("cpu", False),
+        dram_cpu_write_bytes=system.dram.bytes_served("cpu", True),
+        dram_row_hit_rate=system.dram.row_hit_rate(),
+        gpu_stats=gpu.stats.snapshot() if gpu else {},
+        gpu_texture_share=gpu.texture_share() if gpu else 0.0,
+        qos=qos_stats,
+        frpu_errors=errors,
+    )
+
+
+def weighted_speedup(result: RunResult,
+                     alone_ipcs: dict[int, float]) -> float:
+    """Sum over apps of IPC_shared / IPC_alone.
+
+    ``alone_ipcs`` maps SPEC id -> standalone IPC at the same scale.
+    """
+    total = 0.0
+    for i, spec_id in enumerate(result.cpu_apps):
+        alone = alone_ipcs[spec_id]
+        if alone <= 0:
+            raise ValueError(f"standalone IPC for {spec_id} is {alone}")
+        total += result.cpu_ipcs[i] / alone
+    return total
+
+
+def geomean(values) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def combined_performance(cpu_norm: float, gpu_norm: float) -> float:
+    """Fig. 14's equal-weight CPU+GPU metric (geometric mean of the two
+    normalised performances)."""
+    return geomean([cpu_norm, gpu_norm])

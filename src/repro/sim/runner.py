@@ -1,0 +1,76 @@
+"""Experiment orchestration: standalone and heterogeneous runs.
+
+Standalone results (per-app IPC, per-game FPS) are memoised per
+``(scale, seed)`` in-process, because every figure normalises against
+them — Fig. 1 alone needs 28 standalone runs plus 14 heterogeneous ones.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.config import SystemConfig, default_config
+from repro.mixes import Mix, mix as mix_by_name
+from repro.policies import make_policy
+from repro.policies.base import Policy
+from repro.sim.metrics import RunResult, collect, weighted_speedup
+from repro.sim.system import HeterogeneousSystem
+
+
+def run_system(cfg: SystemConfig, mix: Mix,
+               policy: Policy | str | None = None) -> RunResult:
+    """Build, run, and harvest one simulation."""
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    system = HeterogeneousSystem(cfg, mix, policy)
+    system.run()
+    return collect(system)
+
+
+def run_mix(mix_name: str, policy: str = "baseline", scale: str = "test",
+            seed: int = 1) -> RunResult:
+    """Run one Table III mix under one policy."""
+    m = mix_by_name(mix_name)
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    return run_system(cfg, m, policy)
+
+
+# -- standalone runs (memoised) ---------------------------------------------
+
+@lru_cache(maxsize=None)
+def standalone_cpu(spec_id: int, scale: str = "test",
+                   seed: int = 1) -> RunResult:
+    """One CPU application alone on the machine (no GPU)."""
+    m = Mix(f"alone-{spec_id}", None, (spec_id,))
+    cfg = default_config(scale=scale, n_cpus=1, seed=seed)
+    return run_system(cfg, m, "baseline")
+
+
+@lru_cache(maxsize=None)
+def standalone_gpu(game: str, scale: str = "test",
+                   seed: int = 1) -> RunResult:
+    """One GPU application alone on the machine (no CPU work)."""
+    m = Mix(f"alone-{game}", game, ())
+    cfg = default_config(scale=scale, n_cpus=0, seed=seed)
+    return run_system(cfg, m, "baseline")
+
+
+def alone_ipcs(spec_ids, scale: str = "test",
+               seed: int = 1) -> dict[int, float]:
+    out: dict[int, float] = {}
+    for sid in spec_ids:
+        r = standalone_cpu(sid, scale, seed)
+        out[sid] = r.cpu_ipcs[0]
+    return out
+
+
+def weighted_speedup_for(result: RunResult, scale: str = "test",
+                         seed: int = 1) -> float:
+    """Weighted speedup of a run's CPU mix against standalone IPCs."""
+    alone = alone_ipcs(result.cpu_apps, scale, seed)
+    return weighted_speedup(result, alone)
+
+
+def clear_caches() -> None:
+    standalone_cpu.cache_clear()
+    standalone_gpu.cache_clear()

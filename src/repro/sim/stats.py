@@ -1,0 +1,116 @@
+"""Lightweight statistics primitives shared by every component.
+
+All simulator components expose their measurements through a
+:class:`StatSet` so results can be harvested uniformly by
+:mod:`repro.sim.metrics` and snapshotted/diffed between run phases
+(warm-up vs measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Counter:
+    """A named monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Running sum / count / min / max of an integer-valued sample."""
+
+    __slots__ = ("name", "n", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def add(self, sample: int) -> None:
+        self.n += 1
+        self.total += sample
+        if self.min is None or sample < self.min:
+            self.min = sample
+        if self.max is None or sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def reset(self) -> None:
+        self.n = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:
+        return (f"Accumulator({self.name}: n={self.n}, mean={self.mean:.2f},"
+                f" min={self.min}, max={self.max})")
+
+
+class StatSet:
+    """A named bag of counters/accumulators with snapshot support."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._counters: dict[str, Counter] = {}
+        self._accs: dict[str, Accumulator] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def accumulator(self, name: str) -> Accumulator:
+        a = self._accs.get(name)
+        if a is None:
+            a = self._accs[name] = Accumulator(name)
+        return a
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def get(self, name: str) -> int:
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {k: c.value for k, c in self._counters.items()}
+
+    def diff(self, base: dict[str, int]) -> dict[str, int]:
+        """Counter deltas since ``base`` (a prior :meth:`snapshot`)."""
+        return {k: c.value - base.get(k, 0)
+                for k, c in self._counters.items()}
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+        for a in self._accs.values():
+            a.reset()
+
+    def as_dict(self) -> dict[str, int]:
+        return self.snapshot()
+
+    def __repr__(self) -> str:
+        return f"StatSet({self.owner}: {self.snapshot()})"

@@ -1,0 +1,54 @@
+"""Tests for the diagnostics probe."""
+
+from repro.analysis.diagnostics import Probe
+from repro.config import default_config
+from repro.mixes import MIXES_W
+from repro.policies import make_policy
+from repro.sim.system import HeterogeneousSystem
+
+
+def test_probe_samples_all_series():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    s = HeterogeneousSystem(cfg, MIXES_W["W8"], make_policy("throttle"))
+    probe = Probe(s, interval_ticks=2000)
+    s.run()
+    n = len(probe.series["ticks"])
+    assert n > 3
+    for k in Probe.SERIES:
+        assert len(probe.series[k]) == n, k
+    # occupancies are line counts within capacity
+    cap = cfg.scale.llc_bytes // 64
+    assert all(0 <= v <= cap for v in probe.series["gpu_occupancy"])
+    # ticks strictly increasing
+    t = probe.series["ticks"]
+    assert all(a < b for a, b in zip(t, t[1:]))
+
+
+def test_ascii_timeline_renders():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    s = HeterogeneousSystem(cfg, MIXES_W["W8"])
+    probe = Probe(s, interval_ticks=4000)
+    s.run()
+    art = probe.ascii_timeline("dram_queue", width=30, height=4)
+    lines = art.splitlines()
+    assert lines[0].startswith("dram_queue")
+    assert len(lines) == 5
+    assert all(len(l) <= 30 for l in lines[1:])
+
+
+def test_summary_stats():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    s = HeterogeneousSystem(cfg, MIXES_W["W8"])
+    probe = Probe(s, interval_ticks=4000)
+    s.run()
+    summ = probe.summary()
+    assert summ["gpu_frames_max"] >= 1
+    assert summ["cpu_instructions_max"] > 0
+
+
+def test_empty_series_renders_gracefully():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    s = HeterogeneousSystem(cfg, MIXES_W["W8"])
+    probe = Probe(s, interval_ticks=10**9)   # never samples
+    s.run()
+    assert "(no samples)" in probe.ascii_timeline("dram_queue")

@@ -1,0 +1,67 @@
+"""Tests for the event-energy model."""
+
+import pytest
+
+from repro.analysis.energy import EnergyParams, price_run
+from repro.sim.metrics import RunResult
+
+
+def result(**kw):
+    base = dict(
+        mix_name="t", policy_name="baseline", scale_name="smoke",
+        ticks=1_000_000, cpu_apps=(403, 401), cpu_ipcs={0: 1.0, 1: 0.5},
+        gpu_app="DOOM3", fps=50.0, frames_rendered=4,
+        frame_cycles=[10_000] * 4,
+        llc={"cpu_accesses": 10_000, "gpu_accesses": 30_000},
+        dram={"cpu_reads": 5_000, "cpu_writes": 1_000,
+              "gpu_reads": 12_000, "gpu_writes": 3_000},
+        dram_gpu_read_bytes=0, dram_gpu_write_bytes=0,
+        dram_cpu_read_bytes=0, dram_cpu_write_bytes=0,
+        dram_row_hit_rate=0.5,
+        gpu_stats={"internal_accesses": 100_000})
+    base.update(kw)
+    return RunResult(**base)
+
+
+def test_total_is_sum_of_components():
+    rep = price_run(result())
+    parts = (rep.cpu_dynamic + rep.cpu_static + rep.gpu_dynamic +
+             rep.gpu_static + rep.llc + rep.dram_dynamic +
+             rep.dram_static)
+    assert rep.total == pytest.approx(parts)
+    assert rep.total > 0
+    assert rep.run_seconds == pytest.approx(1_000_000 * 0.25e-9)
+
+
+def test_activates_follow_row_hit_rate():
+    open_rows = price_run(result(dram_row_hit_rate=1.0))
+    closed = price_run(result(dram_row_hit_rate=0.0))
+    assert closed.dram_dynamic > open_rows.dram_dynamic
+    assert open_rows.breakdown["dram_activates"] == 0
+
+
+def test_cpu_only_run_has_no_gpu_energy():
+    rep = price_run(result(gpu_app=None, frame_cycles=[],
+                           gpu_stats={}))
+    assert rep.gpu_static == 0.0
+    assert rep.gpu_dynamic == 0.0
+
+
+def test_energy_per_frame():
+    rep = price_run(result())
+    assert rep.energy_per_frame(4) == pytest.approx(rep.total / 4)
+    assert rep.energy_per_frame(0) == 0.0
+
+
+def test_custom_params_scale_components():
+    cheap = price_run(result(), params=EnergyParams(dram_rw_pj=0.0,
+                                                    dram_activate_pj=0.0))
+    full = price_run(result())
+    assert cheap.dram_dynamic == 0.0
+    assert full.dram_dynamic > 0
+
+
+def test_memory_system_aggregate():
+    rep = price_run(result())
+    assert rep.memory_system == pytest.approx(
+        rep.llc + rep.dram_dynamic + rep.dram_static)

@@ -1,0 +1,81 @@
+"""Integration tests for the figure-regeneration entry points.
+
+These run tiny subsets at smoke scale — the full series are exercised
+by ``pytest benchmarks/``; here we verify the data plumbing, caching,
+and metric wiring.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.mixes import HIGH_FPS_MIXES, LOW_FPS_MIXES
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    experiments.clear_caches()
+    yield
+    experiments.clear_caches()
+
+
+def test_hetero_is_memoised():
+    a = experiments.hetero("W8", "baseline", "smoke")
+    b = experiments.hetero("W8", "baseline", "smoke")
+    assert a is b
+
+
+def test_fig1_structure():
+    d = experiments.fig1("smoke", mixes=["W8"])
+    assert set(d["cpu"]) == {"W8"}
+    assert 0 < d["cpu"]["W8"] < 1.6
+    assert 0 < d["gpu"]["W8"] < 1.6
+    assert d["gmean_cpu"] == d["cpu"]["W8"]
+
+
+def test_fig2_structure():
+    d = experiments.fig2("smoke", mixes=["W8"])
+    assert d["games"]["W8"] == "HL2"
+    assert d["reference_fps"] == 30.0
+    assert d["standalone"]["W8"] > 0
+
+
+def test_fig3_structure():
+    d = experiments.fig3("smoke", mixes=["W8"])
+    assert 0.3 < d["speedup"]["W8"] < 2.0
+
+
+def test_fig8_structure():
+    d = experiments.fig8("smoke", mixes=["M7"])
+    assert "DOOM3" in d["mean_abs_error_pct"]
+    assert d["average_abs_error_pct"] >= 0
+
+
+def test_fig9_structure():
+    name = HIGH_FPS_MIXES[0]
+    d = experiments.fig9("smoke", mixes=[name])
+    game = list(d["fps"]["baseline"])[0]
+    assert d["fps"]["baseline"][game] > 0
+    assert set(d["ws_norm"]) == {"throttle", "throtcpuprio"}
+    assert d["target_fps"] == 40.0
+
+
+def test_fig10_11_share_runs_with_fig9():
+    name = HIGH_FPS_MIXES[0]
+    before = experiments.hetero.cache_info().misses
+    experiments.fig10("smoke", mixes=[name])
+    experiments.fig11("smoke", mixes=[name])
+    after = experiments.hetero.cache_info().misses
+    assert after == before        # everything came from the cache
+
+
+def test_fig13_14_low_fps_mixes():
+    name = LOW_FPS_MIXES[0]
+    d13 = experiments.fig13("smoke", mixes=[name],
+                            policies=["baseline", "throtcpuprio"])
+    game = list(d13["fps_norm"]["baseline"])[0]
+    assert d13["fps_norm"]["baseline"][game] == pytest.approx(1.0)
+    d14 = experiments.fig14("smoke", mixes=[name],
+                            policies=["baseline", "throtcpuprio"])
+    assert d14["gmean"]["baseline"] == pytest.approx(1.0)
+    # proposal stays disabled below target: near-baseline combined perf
+    assert abs(d14["gmean"]["throtcpuprio"] - 1.0) < 0.25

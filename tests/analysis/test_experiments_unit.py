@@ -1,0 +1,82 @@
+"""Pure-unit tests of the experiment metric plumbing (stubbed runners —
+no simulation), complementing the integration tests."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.sim.metrics import RunResult
+
+
+def fake_result(mix="M7", policy="baseline", ipcs=None, fps=50.0,
+                apps=(410, 433), frames=5, gpu_misses=1000,
+                cpu_misses=2000, ticks=100_000):
+    return RunResult(
+        mix_name=mix, policy_name=policy, scale_name="smoke",
+        ticks=ticks, cpu_apps=tuple(apps),
+        cpu_ipcs=ipcs or {i: 1.0 for i in range(len(apps))},
+        gpu_app="DOOM3", fps=fps, frames_rendered=frames,
+        frame_cycles=[10_000] * frames,
+        llc={"gpu_misses": gpu_misses, "cpu_misses": cpu_misses},
+        dram={}, dram_gpu_read_bytes=64_000, dram_gpu_write_bytes=16_000,
+        dram_cpu_read_bytes=0, dram_cpu_write_bytes=0,
+        dram_row_hit_rate=0.5)
+
+
+@pytest.fixture
+def stubbed(monkeypatch):
+    """Route experiments.hetero and the standalone runners to stubs."""
+    runs = {}
+
+    def hetero(mix, policy, scale="test", seed=1):
+        return runs[(mix, policy)]
+    monkeypatch.setattr(experiments, "hetero", hetero)
+    from repro.sim import runner
+    monkeypatch.setattr(runner, "alone_ipcs",
+                        lambda apps, scale, seed=1: {a: 2.0 for a in apps})
+    return runs
+
+
+def test_ws_norm_math(stubbed):
+    stubbed[("M7", "baseline")] = fake_result(
+        ipcs={0: 1.0, 1: 1.0})                 # WS = 1.0
+    stubbed[("M7", "x")] = fake_result(
+        policy="x", ipcs={0: 1.2, 1: 1.2})     # WS = 1.2
+    assert experiments._ws_norm("M7", "x", "test", 1) == \
+        pytest.approx(1.2)
+
+
+def test_fig10_normalises_gpu_misses_per_frame(stubbed):
+    stubbed[("M7", "baseline")] = fake_result(frames=5, gpu_misses=1000)
+    stubbed[("M7", "throttle")] = fake_result(
+        policy="throttle", frames=4, gpu_misses=1120)
+    stubbed[("M7", "throtcpuprio")] = fake_result(
+        policy="throtcpuprio", frames=4, gpu_misses=1120)
+    d = experiments.fig10("test", mixes=["M7"])
+    # 1120/4 vs 1000/5 = 280/200 = 1.4
+    assert d["gpu_miss_norm"]["throttle"]["DOOM3"] == pytest.approx(1.4)
+
+
+def test_fig11_uses_gpu_active_time(stubbed):
+    base = fake_result(frames=5, ticks=1)
+    thr = fake_result(policy="throttle", frames=5, ticks=1)
+    # same bytes; throttled frames twice as long -> half the bandwidth
+    thr.frame_cycles = [20_000] * 5
+    stubbed[("M7", "baseline")] = base
+    stubbed[("M7", "throttle")] = thr
+    stubbed[("M7", "throtcpuprio")] = thr
+    d = experiments.fig11("test", mixes=["M7"])
+    assert d["bandwidth"]["throttle"]["DOOM3"]["total"] == \
+        pytest.approx(0.5)
+
+
+def test_fig14_combines_fig13_axes(stubbed):
+    base = fake_result(fps=10.0, ipcs={0: 1.0, 1: 1.0})
+    half_fps = fake_result(policy="sms-0.9", fps=5.0,
+                           ipcs={0: 1.0, 1: 1.0})
+    stubbed[("M6", "baseline")] = base
+    stubbed[("M6", "sms-0.9")] = half_fps
+    d = experiments.fig14("test", mixes=["M6"],
+                          policies=["baseline", "sms-0.9"])
+    # CPU unchanged, GPU halved -> combined sqrt(1.0 * 0.5)
+    assert d["combined"]["sms-0.9"]["M6"] == pytest.approx(0.5 ** 0.5)
+    assert d["combined"]["baseline"]["M6"] == pytest.approx(1.0)

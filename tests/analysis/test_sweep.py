@@ -1,0 +1,63 @@
+"""Tests for the parameter-sweep utility (stubbed runner — no sims)."""
+
+import pytest
+
+from repro.analysis.sweep import (sweep, vary_dram, vary_frontend,
+                                  vary_llc_policy, vary_qos)
+
+
+def capture_runner(store):
+    def run(cfg, mix, policy):
+        store.append((cfg, mix, policy))
+        return f"result-{len(store)}"
+    return run
+
+
+def test_vary_qos_builds_transforms():
+    vs = vary_qos(target_fps=[30.0, 50.0], wg_step=[4])
+    assert [label for label, _ in vs] == \
+        ["target_fps=30.0", "target_fps=50.0", "wg_step=4"]
+    from repro.config import default_config
+    cfg = vs[0][1](default_config("smoke"))
+    assert cfg.qos.target_fps == 30.0
+    cfg2 = vs[2][1](default_config("smoke"))
+    assert cfg2.qos.wg_step == 4
+
+
+def test_vary_dram_and_llc_and_frontend():
+    from repro.config import default_config
+    base = default_config("smoke")
+    (label, t), = vary_dram(mapping=["row"])
+    assert t(base).dram.mapping == "row"
+    (label, t), = vary_llc_policy(["lru"])
+    assert t(base).llc.policy == "lru"
+    labels = [l for l, _ in vary_frontend()]
+    assert labels == ["gpu_frontend=procedural", "gpu_frontend=geometry"]
+
+
+def test_sweep_runs_each_variation():
+    calls = []
+    rows = sweep("M7", policy="baseline", scale="smoke",
+                 variations=vary_qos(target_fps=[30.0, 40.0]),
+                 runner=capture_runner(calls))
+    assert [r.label for r in rows] == ["target_fps=30.0",
+                                       "target_fps=40.0"]
+    assert len(calls) == 2
+    assert calls[0][0].qos.target_fps == 30.0
+    assert calls[1][0].qos.target_fps == 40.0
+    assert calls[0][1].name == "M7"
+
+
+def test_sweep_without_variations_runs_base_once():
+    calls = []
+    rows = sweep("W3", runner=capture_runner(calls))
+    assert len(rows) == 1
+    assert rows[0].label == "base"
+    assert calls[0][0].n_cpus == 1
+
+
+def test_sweep_live_smoke():
+    """One tiny real variation run end to end."""
+    rows = sweep("W8", policy="baseline", scale="smoke",
+                 variations=vary_llc_policy(["lru"]))
+    assert rows[0].result.fps > 0

@@ -1,0 +1,74 @@
+"""Integration tests for the QoS controller on a small live system."""
+
+import pytest
+
+from repro.config import default_config
+from repro.mixes import Mix, MIXES_M
+from repro.policies.throttle import ThrottlePolicy
+from repro.sim.system import HeterogeneousSystem
+
+
+def run_m7(policy=None, scale="smoke", seed=1):
+    cfg = default_config(scale=scale, n_cpus=4, seed=seed)
+    return HeterogeneousSystem(cfg, MIXES_M["M7"], policy).run()
+
+
+def test_throttle_engages_on_fast_gpu():
+    pol = ThrottlePolicy(cpu_priority=False)
+    s = run_m7(pol)
+    qos = pol.qos
+    assert qos.frpu.frames_learned >= 1
+    assert qos.stats.get("throttle_activations") >= 1
+    assert qos.atu.throttled_recomputes > 0
+
+
+def test_throttled_fps_lands_near_target():
+    base = run_m7()
+    pol = ThrottlePolicy(cpu_priority=False)
+    thr = run_m7(pol)
+    target = thr.cfg.qos.target_fps
+    assert base.gpu_fps() > target          # amenable mix
+    assert thr.gpu_fps() < base.gpu_fps()   # throttled below baseline
+    # "just around the target": generous band at smoke scale
+    assert 0.8 * target < thr.gpu_fps() < 1.5 * target
+
+
+def test_throttle_never_engages_on_slow_gpu():
+    """M6 (Crysis, ~6 FPS) never meets the target: the proposal must
+    stay disabled and deliver baseline behaviour."""
+    pol = ThrottlePolicy(cpu_priority=True)
+    cfg = default_config(scale="smoke", n_cpus=4)
+    s = HeterogeneousSystem(cfg, MIXES_M["M6"], pol).run()
+    assert pol.qos.atu.throttled_recomputes == 0
+    assert not pol.qos.throttling
+
+
+def test_cpu_priority_boost_follows_throttling():
+    pol = ThrottlePolicy(cpu_priority=True)
+    s = run_m7(pol)
+    # after the run the gate state must be consistent with the boost
+    for sched in pol._schedulers:
+        assert sched.boost == pol.qos.throttling
+
+
+def test_target_cycles_per_frame_math():
+    pol = ThrottlePolicy(cpu_priority=False)
+    s = run_m7(pol)
+    qos = pol.qos
+    w = s.gpu.workload
+    expected = s.cfg.scale.gpu_frame_cycles * w.fps_nominal / 40.0
+    assert qos.target_cycles_per_frame == pytest.approx(expected)
+
+
+def test_custom_target_fps():
+    pol = ThrottlePolicy(cpu_priority=False, target_fps=30.0)
+    s = run_m7(pol)
+    assert pol.qos.cfg.target_fps == 30.0
+
+
+def test_estimate_only_policy_never_throttles():
+    from repro.policies import make_policy
+    pol = make_policy("estimate")
+    s = run_m7(pol)
+    assert pol.qos.atu.throttled_recomputes == 0
+    assert pol.qos.frpu.frames_predicted >= 1

@@ -1,0 +1,94 @@
+"""Unit-level tests for QoSController wiring (no full system)."""
+
+import pytest
+
+from repro.config import GpuConfig, QosConfig
+from repro.core.qos import QoSController
+from repro.dram.schedulers import CpuPriorityScheduler
+from repro.gpu.framebuffer import FrameGenerator
+from repro.gpu.pipeline import GpuPipeline
+from repro.gpu.workloads import workload_for
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+BASE = 8 << 34
+
+
+class FakeLLC:
+    def __init__(self, sim, latency=50):
+        self.sim = sim
+        self.latency = latency
+
+    def send(self, req: MemRequest):
+        if not req.is_write:
+            self.sim.after(self.latency, req.complete)
+
+
+def build(game="UT2004", frames=6, cycles=6000):
+    sim = Simulator()
+    llc = FakeLLC(sim)
+    w = workload_for(game)
+    gen = FrameGenerator(w, cycles, BASE, seed=4, mem_scale=4)
+    gpu = GpuPipeline(sim, GpuConfig(), w, gen, llc.send,
+                      max_frames=frames)
+    scheds = [CpuPriorityScheduler(), CpuPriorityScheduler()]
+    qos = QoSController(sim, QosConfig(), gpu, cycles,
+                        dram_schedulers=scheds)
+    return sim, gpu, qos, scheds
+
+
+def test_controller_learns_then_throttles_fast_gpu():
+    sim, gpu, qos, scheds = build()
+    qos.start()
+    gpu.start()
+    sim.run(until=100_000_000)
+    assert qos.frpu.frames_learned >= 1
+    assert qos.stats.get("recomputes") > 0
+    # UT2004 at 130 FPS nominal is far above target: must throttle
+    assert qos.atu.throttled_recomputes > 0
+
+
+def test_frame_done_chain_preserves_previous_callback():
+    sim, gpu, qos, _ = build(frames=3)
+    seen = []
+    gpu.on_frame_done = lambda rec: seen.append(rec.index)
+    qos.start()                        # chains on top
+    gpu.start()
+    sim.run(until=100_000_000)
+    assert seen == [0, 1, 2]
+    assert qos.frpu.frames_learned >= 1
+
+
+def test_boost_cleared_on_stop():
+    sim, gpu, qos, scheds = build()
+    qos.start()
+    gpu.start()
+    sim.run(until=100_000_000)
+    qos.stop()
+    assert all(not s.boost for s in scheds)
+    assert gpu.gate is qos._pass_gate
+
+
+def test_recompute_without_learning_disables():
+    sim, gpu, qos, scheds = build()
+    qos.recompute()                    # FRPU still LEARNING
+    assert not qos.throttling
+    assert all(not s.boost for s in scheds)
+
+
+def test_storage_overhead_matches_section_iii_d():
+    """The paper: the proposal costs 'just over a kilobyte'."""
+    sim, gpu, qos, _ = build()
+    kb = qos.storage_overhead_bits() / 8 / 1024
+    assert 1.0 < kb < 1.3
+
+
+def test_predicted_fps_reporting():
+    sim, gpu, qos, _ = build()
+    qos.start()
+    gpu.start()
+    sim.run(until=100_000_000)
+    fps = qos.predicted_fps()
+    if fps is not None:                # prediction phase at end of run
+        w = gpu.workload
+        assert 0.1 * w.fps_nominal < fps < 3 * w.fps_nominal

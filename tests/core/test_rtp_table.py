@@ -1,0 +1,53 @@
+"""Unit tests for the 64-entry RTP information table (Section III-A1)."""
+
+import pytest
+
+from repro.core.rtp_table import RtpInfoTable
+
+
+def test_record_and_aggregate():
+    t = RtpInfoTable(4)
+    t.record(updates=10, cycles=100, n_rtts=10, llc=500)
+    t.record(updates=20, cycles=300, n_rtts=20, llc=700)
+    assert t.n_rtps == 2
+    assert t.total_cycles() == 400
+    assert t.total_llc_accesses() == 1200
+    assert t.avg_cycles_per_rtp() == 200.0
+
+
+def test_overflow_folds_into_last_entry():
+    t = RtpInfoTable(2)
+    for i in range(5):
+        t.record(updates=1, cycles=10, n_rtts=1, llc=10)
+    assert t.n_rtps == 5                 # logical count keeps growing
+    entries = t.valid_entries()
+    assert len(entries) == 2             # physical capacity respected
+    # last entry accumulated RTPs 2..5 (four of them)
+    assert entries[-1].cycles == 40
+    assert t.total_cycles() == 50
+    # the paper's average is over the logical RTP count
+    assert t.avg_cycles_per_rtp() == 10.0
+
+
+def test_reset():
+    t = RtpInfoTable(8)
+    t.record(1, 2, 3, 4)
+    t.reset()
+    assert t.n_rtps == 0
+    assert t.valid_entries() == []
+    assert t.total_cycles() == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        RtpInfoTable(0)
+
+
+def test_storage_overhead_matches_paper_claim():
+    """Section III-D: four 4-byte fields x 64 entries — 'just over a
+    kilobyte of additional storage'."""
+    t = RtpInfoTable(64)
+    bits = t.storage_bits()
+    assert bits == 64 * (4 * 4 * 8 + 1)
+    kb = bits / 8 / 1024
+    assert 1.0 < kb < 1.2

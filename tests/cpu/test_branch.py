@@ -1,0 +1,73 @@
+"""Tests for the branch misprediction model."""
+
+import pytest
+
+from repro.cpu.branch import (BranchModel, DEFAULT_MPKI, FLUSH_CYCLES,
+                              MISPREDICT_MPKI)
+
+
+def test_all_profiles_covered():
+    from repro.cpu.spec import SPEC_PROFILES
+    assert set(SPEC_PROFILES) <= set(MISPREDICT_MPKI)
+
+
+def test_charge_is_exact_in_aggregate():
+    bm = BranchModel(429)              # 9 MPKI
+    total = 0.0
+    for _ in range(100):
+        total += bm.charge(1000)
+    # 100k instructions * 9 MPKI = 900 mispredicts
+    assert bm.mispredicts == pytest.approx(900, abs=1)
+    assert total == pytest.approx(900 * FLUSH_CYCLES, rel=0.01)
+
+
+def test_fractional_accumulation_deterministic():
+    a = BranchModel(470)               # 0.4 MPKI: mostly fractional
+    b = BranchModel(470)
+    seq_a = [a.charge(77) for _ in range(200)]
+    seq_b = [b.charge(77) for _ in range(200)]
+    assert seq_a == seq_b
+    assert a.mispredicts == b.mispredicts > 0
+
+
+def test_branchy_vs_streaming_ordering():
+    mcf = BranchModel(429)
+    lbm = BranchModel(470)
+    mcf.charge(100_000)
+    lbm.charge(100_000)
+    assert mcf.mispredicts > 10 * lbm.mispredicts
+
+
+def test_unknown_profile_uses_default():
+    bm = BranchModel(999)
+    bm.charge(100_000)
+    assert bm.mispredicts == pytest.approx(100 * DEFAULT_MPKI, abs=1)
+
+
+def test_core_accounts_branch_penalty():
+    """A core running a branchy profile must be slower than the same
+    profile with mispredictions zeroed out."""
+    from repro.config import CpuCoreConfig
+    from repro.cpu.core import CpuCore
+    from repro.cpu.spec import profile_for
+    from repro.cpu.trace import TraceGenerator
+    from repro.mem.request import MemRequest
+    from repro.sim.engine import Simulator
+
+    def run(zero_bp):
+        sim = Simulator()
+
+        def send(req: MemRequest):
+            if req.on_done:
+                sim.after(50, req.complete)
+        tr = TraceGenerator(profile_for(403), 3, 1 << 34, mem_scale=4)
+        core = CpuCore(sim, CpuCoreConfig(), 0, tr, send,
+                       target_instructions=30_000,
+                       on_target_reached=lambda cid: sim.stop())
+        if zero_bp:
+            core.branches.penalty_per_inst = 0.0
+        core.start()
+        sim.run(until=100_000_000)
+        return core.ipc_achieved()
+
+    assert run(zero_bp=True) > run(zero_bp=False)

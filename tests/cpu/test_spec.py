@@ -1,0 +1,60 @@
+"""Unit tests for the SPEC CPU 2006 profile definitions."""
+
+import pytest
+
+from repro.cpu.spec import SPEC_PROFILES, SpecProfile, StreamSpec, \
+    profile_for
+from repro.mixes import MIXES_M, MIXES_W
+
+
+def test_all_table3_ids_have_profiles():
+    needed = set()
+    for m in list(MIXES_M.values()) + list(MIXES_W.values()):
+        needed.update(m.cpu_apps)
+    assert needed <= set(SPEC_PROFILES)
+
+
+def test_profile_weights_sum_to_one():
+    for p in SPEC_PROFILES.values():
+        assert sum(s.weight for s in p.streams) == pytest.approx(1.0,
+                                                                 abs=1e-3)
+
+
+def test_invalid_weights_rejected():
+    with pytest.raises(ValueError):
+        SpecProfile(999, "bad", 300, 0.3, 2.0, 4,
+                    (StreamSpec("hot", 0.5, 1024),))
+
+
+def test_profile_for_unknown_raises():
+    with pytest.raises(KeyError):
+        profile_for(12345)
+
+
+def test_behaviour_classes_are_distinct():
+    """The mixes need a spread of behaviours: pointer-chasers are
+    low-MLP, streamers are high-MLP and bandwidth-heavy."""
+    mcf = profile_for(429)
+    lbq = profile_for(462)
+    assert mcf.mlp < lbq.mlp
+    assert any(s.kind == "pointer" for s in mcf.streams)
+    stream_w = sum(s.weight for s in lbq.streams if s.kind == "stream")
+    assert stream_w >= 0.3
+
+
+def test_expected_llc_mpki_ordering():
+    """The derived LLC-access MPKI proxy must preserve the published
+    ordering: gcc lowest, streaming/pointer apps high."""
+    def mpki(p: SpecProfile) -> float:
+        acc = 0.0
+        for s in p.streams:
+            if s.kind in ("random", "pointer"):
+                acc += s.weight
+            elif s.kind == "stream":
+                acc += s.weight / 8
+        return p.mem_per_kinst * acc
+
+    vals = {sid: mpki(p) for sid, p in SPEC_PROFILES.items()}
+    assert vals[403] == min(vals.values())       # gcc
+    assert vals[462] > vals[403] * 4             # libquantum >> gcc
+    assert vals[429] > vals[481]                 # mcf > wrf

@@ -1,0 +1,96 @@
+"""Unit + property tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_BYTES
+from repro.cpu.spec import SPEC_PROFILES, profile_for
+from repro.cpu.trace import TraceGenerator
+
+
+def gen(spec_id=462, seed=3, base=1 << 34, mem_scale=1):
+    return TraceGenerator(profile_for(spec_id), seed, base,
+                          mem_scale=mem_scale)
+
+
+def test_deterministic_from_seed():
+    a = gen(seed=11).next_batch(500)
+    b = gen(seed=11).next_batch(500)
+    assert np.array_equal(a.addrs, b.addrs)
+    assert np.array_equal(a.gaps, b.gaps)
+    c = gen(seed=12).next_batch(500)
+    assert not np.array_equal(a.addrs, c.addrs)
+
+
+def test_addresses_line_aligned_and_in_region():
+    tg = gen()
+    b = tg.next_batch(2000)
+    assert np.all(b.addrs % LINE_BYTES == 0)
+    assert np.all(b.addrs >= tg.base_addr)
+    assert np.all(b.addrs < tg.end_addr)
+
+
+def test_mean_gap_matches_mem_per_kinst():
+    tg = gen(spec_id=429)     # 390 memops / kinst
+    gaps = np.concatenate([tg.next_batch(4000).gaps for _ in range(4)])
+    insts_per_memop = gaps.mean() + 1
+    assert insts_per_memop == pytest.approx(1000 / 390, rel=0.05)
+
+
+def test_stream_walks_lines_every_eighth_access():
+    tg = gen(spec_id=462)
+    b = tg.next_batch(8000)
+    lines = np.unique(b.addrs // LINE_BYTES)
+    # stream weight 0.35/8 + hot uniques: far fewer lines than accesses
+    assert len(lines) < len(b.addrs) * 0.2
+
+
+def test_pointer_accesses_marked_serial_and_loads():
+    tg = gen(spec_id=429)
+    b = tg.next_batch(8000)
+    assert b.serial.any()
+    assert not b.writes[b.serial].any()
+
+
+def test_store_fraction_matches_profile():
+    tg = gen(spec_id=470)     # lbm: 0.45 stores
+    b = tg.next_batch(20000)
+    frac = b.writes.mean()
+    assert frac == pytest.approx(0.45, abs=0.05)
+
+
+def test_mem_scale_shrinks_footprint():
+    big = gen(mem_scale=1)
+    small = gen(mem_scale=4)
+    assert small.footprint_bytes() < big.footprint_bytes()
+    assert small.footprint_bytes() >= big.footprint_bytes() // 8
+
+
+def test_ifetch_addresses_in_code_region():
+    tg = gen()
+    f = tg.ifetch_addresses(1000)
+    assert np.all(f >= tg.code_base)
+    assert np.all(f < tg.end_addr)
+    assert np.all(f % LINE_BYTES == 0)
+
+
+def test_ifetch_locality_is_high():
+    tg = gen()
+    f = tg.ifetch_addresses(4000)
+    # a hot loop: few distinct lines dominate
+    _, counts = np.unique(f, return_counts=True)
+    top16 = np.sort(counts)[-16:].sum()
+    assert top16 / len(f) > 0.7
+
+
+@settings(max_examples=20)
+@given(st.sampled_from(sorted(SPEC_PROFILES)), st.integers(0, 999))
+def test_property_any_profile_generates_valid_batches(spec_id, seed):
+    tg = gen(spec_id=spec_id, seed=seed, mem_scale=4)
+    b = tg.next_batch(512)
+    assert b.n == 512
+    assert np.all(b.gaps >= 0)
+    assert np.all(b.addrs >= tg.base_addr)
+    assert np.all(b.addrs < tg.end_addr)
+    assert len(b.writes) == len(b.serial) == 512

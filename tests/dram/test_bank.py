@@ -1,0 +1,80 @@
+"""Unit tests for the DRAM bank row-buffer state machine."""
+
+import pytest
+
+from repro.config import DramTiming
+from repro.dram.bank import Bank
+from repro.dram.timing import TimingTicks
+
+
+@pytest.fixture
+def timing():
+    return TimingTicks.from_timing(DramTiming(), cycle_ticks=4)
+
+
+def test_timing_conversion(timing):
+    assert timing.t_cas == 14 * 4
+    assert timing.burst == 4 * 4
+    assert timing.access_ticks("hit") == timing.t_cas
+    assert timing.access_ticks("closed") == timing.t_rcd + timing.t_cas
+    assert timing.access_ticks("conflict") == \
+        timing.t_rp + timing.t_rcd + timing.t_cas
+    with pytest.raises(ValueError):
+        timing.access_ticks("nope")
+
+
+def test_closed_then_hit_then_conflict(timing):
+    b = Bank(0)
+    assert b.row_state(5) == "closed"
+    start, done = b.service(5, 0, timing, is_write=False, open_page=True,
+                            bus_free_at=0)
+    assert start == timing.t_rcd + timing.t_cas
+    assert done == start + timing.burst
+    assert b.open_row == 5
+    assert b.row_misses == 1 and b.activations == 1
+
+    assert b.row_state(5) == "hit"
+    t = b.ready_at
+    start2, done2 = b.service(5, t, timing, is_write=False, open_page=True,
+                              bus_free_at=0)
+    assert start2 == t + timing.t_cas
+    assert b.row_hits == 1
+
+    assert b.row_state(7) == "conflict"
+    t = b.ready_at
+    start3, _ = b.service(7, t, timing, is_write=False, open_page=True,
+                          bus_free_at=0)
+    assert start3 == t + timing.t_rp + timing.t_rcd + timing.t_cas
+    assert b.row_conflicts == 1
+    assert b.open_row == 7
+
+
+def test_closed_page_policy_leaves_row_closed(timing):
+    b = Bank(0)
+    b.service(3, 0, timing, is_write=False, open_page=False, bus_free_at=0)
+    assert b.open_row is None
+    assert b.row_state(3) == "closed"
+
+
+def test_bus_contention_delays_data(timing):
+    b = Bank(0)
+    busy_until = 10_000
+    start, done = b.service(1, 0, timing, is_write=False, open_page=True,
+                            bus_free_at=busy_until)
+    assert start == busy_until
+    assert done == busy_until + timing.burst
+
+
+def test_write_recovery_extends_ready(timing):
+    b = Bank(0)
+    _, done = b.service(1, 0, timing, is_write=True, open_page=True,
+                        bus_free_at=0)
+    assert b.ready_at == done + timing.t_wr
+
+
+def test_command_before_ready_is_illegal(timing):
+    b = Bank(0)
+    b.service(1, 0, timing, is_write=False, open_page=True, bus_free_at=0)
+    with pytest.raises(RuntimeError):
+        b.service(1, 0, timing, is_write=False, open_page=True,
+                  bus_free_at=0)

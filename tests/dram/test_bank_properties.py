@@ -1,0 +1,63 @@
+"""Property tests: DRAM bank state machine legality under random
+command sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DramTiming
+from repro.dram.bank import Bank
+from repro.dram.timing import TimingTicks
+
+TIMING = TimingTicks.from_timing(DramTiming(), cycle_ticks=4)
+
+
+@settings(max_examples=60)
+@given(st.lists(st.tuples(st.integers(0, 5), st.booleans(),
+                          st.integers(0, 50)),
+                min_size=1, max_size=60),
+       st.booleans())
+def test_property_bank_times_are_legal(cmds, open_page):
+    """For any command sequence issued at legal times:
+    * data never starts before command + CAS,
+    * completions are monotone on the shared bus,
+    * the bank is never commanded while busy,
+    * counters partition the commands exactly."""
+    bank = Bank(0)
+    bus_free = 0
+    last_done = 0
+    t = 0
+    for row, is_write, gap in cmds:
+        t = max(t + gap, bank.ready_at)
+        start, done = bank.service(row, t, TIMING, is_write=is_write,
+                                   open_page=open_page,
+                                   bus_free_at=bus_free)
+        assert start >= t + TIMING.t_cas
+        assert start >= bus_free
+        assert done == start + TIMING.burst
+        assert done >= last_done
+        assert bank.ready_at >= done
+        if open_page:
+            assert bank.open_row == row
+        else:
+            assert bank.open_row is None
+        bus_free = done
+        last_done = done
+    total = bank.row_hits + bank.row_misses + bank.row_conflicts
+    assert total == len(cmds)
+    assert bank.activations == bank.row_misses + bank.row_conflicts
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 3), min_size=2, max_size=40))
+def test_property_same_row_streak_hits_after_first(rows):
+    bank = Bank(0)
+    t = 0
+    prev = None
+    expected_hits = 0
+    for row in rows:
+        if prev == row:
+            expected_hits += 1
+        t = max(t, bank.ready_at)
+        bank.service(row, t, TIMING, is_write=False, open_page=True,
+                     bus_free_at=0)
+        prev = row
+    assert bank.row_hits == expected_hits

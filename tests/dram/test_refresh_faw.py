@@ -1,0 +1,72 @@
+"""Tests for the opt-in refresh and tFAW constraints."""
+
+import numpy as np
+
+from repro.config import DramConfig, DramTiming
+from repro.dram.controller import MemoryController
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+
+def controller(**timing_kw):
+    sim = Simulator()
+    cfg = DramConfig(timing=DramTiming(**timing_kw))
+    return sim, MemoryController(sim, cfg, 0)
+
+
+def drive(sim, mc, n=600, stride=2, seed=1):
+    rng = np.random.default_rng(seed)
+    done = []
+    t = 0
+    for i in range(n):
+        addr = int(rng.integers(0, 1 << 20)) * 128
+        req = MemRequest(addr, False, "cpu0",
+                         on_done=lambda r: done.append(sim.now))
+        sim.at(t, (lambda r: (lambda: mc.enqueue(r)))(req))
+        t += stride
+    sim.run()
+    return done
+
+
+def test_refresh_fires_periodically_and_blocks_banks():
+    sim, mc = controller(t_refi=400, t_rfc=280)
+    drive(sim, mc, n=300)
+    assert mc.refreshes >= 2
+    # lazy application: every boundary crossed before the last command
+    # issue has been folded in
+    assert mc.refreshes <= sim.now // (400 * 4)
+
+
+def test_refresh_costs_bandwidth():
+    sim_a, mc_a = controller()
+    base = drive(sim_a, mc_a)
+    sim_b, mc_b = controller(t_refi=1000, t_rfc=280)
+    refreshed = drive(sim_b, mc_b)
+    assert mc_b.refreshes > 0
+    # the refreshed controller takes longer for the same work
+    assert sim_b.now > sim_a.now
+
+
+def test_tfaw_limits_activate_bursts():
+    # without tFAW
+    sim_a, mc_a = controller()
+    drive(sim_a, mc_a, n=400)
+    # with a large tFAW window the same random (activate-heavy) load
+    # must take longer: max 4 activates per window
+    sim_b, mc_b = controller(t_faw=200)
+    drive(sim_b, mc_b, n=400)
+    assert sim_b.now > sim_a.now
+
+
+def test_tfaw_does_not_block_row_hits():
+    sim, mc = controller(t_faw=10_000)   # draconian window
+    done = []
+    # one activate, then a stream of row hits: only the first access
+    # counts against tFAW
+    for i in range(32):
+        req = MemRequest(i * 128, False, "cpu0",
+                         on_done=lambda r: done.append(sim.now))
+        sim.at(0, (lambda r: (lambda: mc.enqueue(r)))(req))
+    sim.run()
+    assert len(done) == 32
+    assert len(mc._act_times) <= 1

@@ -1,0 +1,114 @@
+"""Unit + property tests for render-target geometry and frame generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import LINE_BYTES
+from repro.gpu.framebuffer import (FrameGenerator, RenderTarget, TILE_PX,
+                                   KIND_COLOR, KIND_DEPTH, KIND_SHADERI,
+                                   KIND_TEX, KIND_VERTEX, KIND_ZHIER)
+from repro.gpu.workloads import GAME_ORDER, workload_for
+
+BASE = 8 << 34
+
+
+def fg(game="DOOM3", cycles=8000, seed=3, mem_scale=4):
+    return FrameGenerator(workload_for(game), cycles, BASE, seed,
+                          mem_scale=mem_scale)
+
+
+def test_render_target_geometry():
+    rt = RenderTarget(workload_for("DOOM3"), BASE)   # 1600x1200
+    assert rt.tiles_x == 1600 // TILE_PX
+    assert rt.tiles_y == 1200 // TILE_PX
+    assert rt.n_tiles == rt.tiles_x * rt.tiles_y
+    assert rt.depth_base > rt.color_base
+    assert rt.buffer_bytes == 1600 * 1200 * 4
+
+
+def test_tile_lines_are_distinct_lines_of_the_tile():
+    rt = RenderTarget(workload_for("DOOM3"), BASE)
+    lines = rt.color_lines(0)
+    assert len(lines) == TILE_PX                 # 16 rows -> 16 lines
+    assert len(set(lines.tolist())) == TILE_PX
+    assert np.all(lines % LINE_BYTES == 0)
+    # a different tile must not alias
+    other = rt.color_lines(5)
+    assert set(lines.tolist()).isdisjoint(other.tolist())
+
+
+def test_depth_and_color_regions_disjoint():
+    rt = RenderTarget(workload_for("NFS"), BASE)
+    c = rt.color_lines(10)
+    d = rt.depth_lines(10)
+    assert set(c.tolist()).isdisjoint(d.tolist())
+
+
+def test_frame_structure_matches_workload():
+    g = fg("DOOM3")
+    frame = g.next_frame(0)
+    assert frame.n_rtps == workload_for("DOOM3").n_rtp
+    for rtp in frame.rtps:
+        assert rtp.n_tiles >= 2
+        assert rtp.updates >= rtp.n_tiles        # hot tiles count double
+
+
+def test_deterministic_generation():
+    f1 = fg(seed=9).next_frame(0)
+    f2 = fg(seed=9).next_frame(0)
+    a1 = np.concatenate([t.addrs for r in f1.rtps for t in r.tiles])
+    a2 = np.concatenate([t.addrs for r in f2.rtps for t in r.tiles])
+    assert np.array_equal(a1, a2)
+
+
+def test_tile_work_contains_all_kinds():
+    g = fg()
+    tile = g.next_frame(0).rtps[0].tiles[0]
+    kinds = set(tile.kinds.tolist())
+    assert {KIND_TEX, KIND_DEPTH, KIND_COLOR, KIND_VERTEX,
+            KIND_ZHIER, KIND_SHADERI} <= kinds
+
+
+def test_only_rop_kinds_write():
+    g = fg()
+    for rtp in g.next_frame(0).rtps:
+        for t in rtp.tiles:
+            w = t.writes
+            k = t.kinds
+            writers = set(k[w].tolist())
+            assert writers <= {KIND_DEPTH, KIND_COLOR}
+
+
+def test_frame_jitter_varies_work():
+    g = fg("UT2004")
+    sizes = {g.next_frame(i).total_accesses() for i in range(8)}
+    assert len(sizes) > 1
+
+
+def test_compute_budget_matches_compute_frac():
+    w = workload_for("DOOM3")
+    g = fg("DOOM3", cycles=8000)
+    frame = g.next_frame(0)
+    total = sum(t.compute_ticks for r in frame.rtps for t in r.tiles)
+    design = w.compute_frac * 8000 * 4          # ticks
+    assert total == pytest.approx(design, rel=0.35)
+
+
+def test_mem_scale_shrinks_texture_footprint():
+    big = fg(mem_scale=1)
+    small = fg(mem_scale=4)
+    assert small.tex_lines < big.tex_lines
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(GAME_ORDER), st.integers(0, 100))
+def test_property_all_addresses_within_gpu_region(game, seed):
+    g = fg(game, seed=seed)
+    frame = g.next_frame(0)
+    for rtp in frame.rtps:
+        for t in rtp.tiles:
+            assert np.all(t.addrs >= BASE)
+            assert np.all(t.addrs < g.end_addr)
+            assert np.all(t.addrs % LINE_BYTES == 0)
+            assert t.compute_ticks >= 1

@@ -1,0 +1,149 @@
+"""Unit tests for the GPU pipeline against a fake LLC."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu.framebuffer import FrameGenerator
+from repro.gpu.pipeline import GpuPipeline
+from repro.gpu.workloads import workload_for
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+BASE = 8 << 34
+
+
+class FakeLLC:
+    def __init__(self, sim, latency=60):
+        self.sim = sim
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+
+    def send(self, req: MemRequest):
+        if req.is_write:
+            self.writes.append(req.addr)
+            return
+        self.reads.append(req.addr)
+        self.sim.after(self.latency, req.complete)
+
+
+def build(game="DOOM3", frames=3, cycles=4000, latency=60, seed=2,
+          gpu_cfg=None):
+    sim = Simulator()
+    llc = FakeLLC(sim, latency)
+    w = workload_for(game)
+    gen = FrameGenerator(w, cycles, BASE, seed, mem_scale=4)
+    gpu = GpuPipeline(sim, gpu_cfg or GpuConfig(), w, gen, llc.send,
+                      max_frames=frames)
+    return sim, llc, gpu
+
+
+def test_renders_requested_frames_and_stops():
+    sim, llc, gpu = build(frames=3)
+    gpu.start()
+    sim.run(until=100_000_000)
+    assert gpu.frames_completed == 3
+    assert gpu.stopped
+    assert llc.reads and llc.writes   # both traffic classes exist
+
+
+def test_frame_records_structure():
+    sim, llc, gpu = build(game="HL2", frames=2)
+    gpu.start()
+    sim.run(until=100_000_000)
+    w = workload_for("HL2")
+    for rec in gpu.completed_frames:
+        assert len(rec.rtps) == w.n_rtp
+        assert rec.cycles >= 1
+        # frame total includes the end-of-frame ROP flush, which happens
+        # after the last RTP record closes
+        assert rec.llc_accesses >= sum(r.llc_accesses for r in rec.rtps)
+        for r in rec.rtps:
+            assert r.updates >= r.n_rtts
+
+
+def test_standalone_fps_near_nominal():
+    sim, llc, gpu = build(game="UT2004", frames=4, cycles=8000)
+    gpu.start()
+    sim.run(until=200_000_000)
+    w = workload_for("UT2004")
+    fps = gpu.fps_measured(8000)
+    assert 0.6 * w.fps_nominal < fps < 1.3 * w.fps_nominal
+
+
+def test_memory_latency_slows_frames():
+    sim_f, _, fast = build(latency=40, frames=3)
+    fast.start()
+    sim_f.run(until=100_000_000)
+    sim_s, _, slow = build(latency=2000, frames=3)
+    slow.start()
+    sim_s.run(until=400_000_000)
+    assert slow.fps_measured(4000) < fast.fps_measured(4000)
+
+
+def test_throttle_gate_slows_frames():
+    from repro.core.atu import AccessThrottlingUnit
+    sim_b, _, base = build(frames=3)
+    base.start()
+    sim_b.run(until=100_000_000)
+
+    sim_t, _, gated = build(frames=3)
+    atu = AccessThrottlingUnit()
+    atu.wg_ticks = 40                 # brutal: 10 GPU cycles per access
+    gated.gate = atu
+    gated.start()
+    sim_t.run(until=400_000_000)
+    assert gated.fps_measured(4000) < 0.8 * base.fps_measured(4000)
+    assert gated.completed_frames[1].throttle_ticks > 0
+
+
+def test_mshr_backpressure_engages():
+    cfg = GpuConfig(mshr_entries=2)
+    sim, llc, gpu = build(latency=500, frames=2, gpu_cfg=cfg)
+    gpu.start()
+    sim.run(until=400_000_000)
+    assert gpu.stats.get("mshr_stalls") > 0
+    assert gpu.frames_completed == 2   # still finishes
+
+
+def test_frame_progress_monotone_within_frame():
+    sim, llc, gpu = build(frames=2)
+    gpu.start()
+    seen = []
+    prev_frames = [0]
+
+    def sample():
+        if gpu.stopped:
+            return
+        if gpu.frames_completed == prev_frames[0]:
+            seen.append(gpu.frame_progress)
+        else:
+            prev_frames[0] = gpu.frames_completed
+            seen.clear()
+        assert 0.0 <= gpu.frame_progress <= 1.0
+        if not gpu.stopped:
+            sim.after(200, sample)
+    sim.after(200, sample)
+    sim.run(until=100_000_000)
+    assert gpu.frames_completed == 2
+
+
+def test_texture_share_in_paper_band():
+    sim, llc, gpu = build(game="COD2", frames=3, cycles=8000)
+    gpu.start()
+    sim.run(until=100_000_000)
+    # Section IV: texture ~= 25% of GPU LLC accesses on average
+    assert 0.08 < gpu.texture_share() < 0.45
+
+
+def test_kind_counters_sum_to_total():
+    sim, llc, gpu = build(frames=2)
+    gpu.start()
+    sim.run(until=100_000_000)
+    total = gpu.stats.get("llc_accesses")
+    by_kind = sum(gpu.stats.get(f"llc_{k}") for k in
+                  ("texture", "depth", "color", "vertex", "zhier",
+                   "shader_i"))
+    assert total == by_kind
+    assert total == gpu.stats.get("llc_reads") + \
+        gpu.stats.get("llc_writes")

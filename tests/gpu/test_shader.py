@@ -1,0 +1,68 @@
+"""Tests for the shader warp-occupancy model."""
+
+import pytest
+
+from repro.config import GpuConfig
+from repro.gpu.shader import WarpOccupancyModel
+
+
+class StubPipeline:
+    def __init__(self):
+        self.outstanding = 0
+        self._counters = {"mshr_stalls": 0, "llc_reads": 0}
+
+    class _Stats:
+        def __init__(self, owner):
+            self.owner = owner
+
+        def get(self, name):
+            return self.owner._counters[name]
+
+    @property
+    def stats(self):
+        return self._Stats(self)
+
+
+def test_max_warps_from_table1_geometry():
+    m = WarpOccupancyModel(StubPipeline())
+    # 4096 contexts over 64 cores -> 64 warps per core
+    assert m.max_warps == 64
+
+
+def test_outstanding_fills_block_warps():
+    p = StubPipeline()
+    m = WarpOccupancyModel(p)
+    full = m.ready_warps_now()
+    p.outstanding = 64 * 8              # 8 blocked warps per core
+    assert m.ready_warps_now() == pytest.approx(full - 8)
+
+
+def test_stall_rate_collapses_readiness():
+    p = StubPipeline()
+    m = WarpOccupancyModel(p)
+    p._counters = {"mshr_stalls": 0, "llc_reads": 100}
+    w1 = m.sample_window()
+    assert w1["stall_rate"] == 0.0
+    p._counters = {"mshr_stalls": 100, "llc_reads": 200}
+    w2 = m.sample_window()
+    assert w2["stall_rate"] == pytest.approx(1.0)
+    assert w2["ready_warps"] == 0.0
+
+
+def test_average_over_windows():
+    p = StubPipeline()
+    m = WarpOccupancyModel(p)
+    assert m.average_ready_warps() == m.max_warps   # no samples yet
+    p._counters = {"mshr_stalls": 0, "llc_reads": 10}
+    m.sample_window()
+    assert 0 < m.average_ready_warps() <= m.max_warps
+
+
+def test_windows_are_deltas_not_totals():
+    p = StubPipeline()
+    m = WarpOccupancyModel(p)
+    p._counters = {"mshr_stalls": 50, "llc_reads": 100}
+    m.sample_window()
+    # no new activity: zero reads in the second window
+    w = m.sample_window()
+    assert w["reads"] == 0.0

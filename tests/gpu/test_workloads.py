@@ -1,0 +1,67 @@
+"""Unit tests for the Table II game workload models."""
+
+import pytest
+
+from repro.gpu.workloads import (GAME_ORDER, GAME_WORKLOADS,
+                                 HIGH_FPS_GAMES, LOW_FPS_GAMES,
+                                 RESOLUTIONS, workload_for)
+
+
+def test_fourteen_games_in_paper_order():
+    assert len(GAME_ORDER) == 14
+    assert GAME_ORDER[0] == "3DMark06GT1"
+    assert GAME_ORDER[-1] == "UT3"
+    assert set(GAME_ORDER) == set(GAME_WORKLOADS)
+
+
+def test_table2_fps_values():
+    """Spot-check the nominal FPS column against Table II."""
+    assert workload_for("DOOM3").fps_nominal == 81.0
+    assert workload_for("UT2004").fps_nominal == 130.7
+    assert workload_for("Crysis").fps_nominal == 6.6
+    assert workload_for("L4D").fps_nominal == 32.5
+
+
+def test_high_low_fps_split_matches_paper():
+    """Six games exceed the 40 FPS target (the Fig. 9-12 set)."""
+    assert sorted(HIGH_FPS_GAMES) == sorted(
+        ["DOOM3", "HL2", "NFS", "Quake4", "COR", "UT2004"])
+    assert len(LOW_FPS_GAMES) == 8
+    for g in HIGH_FPS_GAMES:
+        assert workload_for(g).fps_nominal > 40
+    for g in LOW_FPS_GAMES:
+        assert workload_for(g).fps_nominal < 40
+
+
+def test_resolutions_match_table2():
+    assert RESOLUTIONS["R1"] == (1280, 1024)
+    assert RESOLUTIONS["R2"] == (1920, 1200)
+    assert RESOLUTIONS["R3"] == (1600, 1200)
+    assert workload_for("COD2").resolution == "R2"
+    assert workload_for("DOOM3").resolution == "R3"
+    assert workload_for("NFS").resolution == "R1"
+
+
+def test_frame_ranges_match_table2():
+    assert workload_for("3DMark06GT1").frames == (670, 671)
+    assert workload_for("HL2").frames == (25, 33)
+    assert workload_for("UT2004").frames == (200, 217)
+
+
+def test_time_scale_inverts_fps():
+    w = workload_for("DOOM3")
+    s = w.time_scale(24_000)
+    # S * fps * frame_cycles == 1e9 by construction
+    assert s * w.fps_nominal * 24_000 == pytest.approx(1e9)
+
+
+def test_rop_heavier_than_texture_for_ogl_shooters():
+    """Section IV: texture is only ~25% of GPU LLC traffic; ROP
+    (depth+colour) dominates for DOOM3-style pipelines."""
+    w = workload_for("DOOM3")
+    assert w.depth_per_tile + w.color_per_tile > 2 * w.tex_per_tile
+
+
+def test_unknown_game_raises():
+    with pytest.raises(KeyError):
+        workload_for("Minesweeper")

@@ -1,0 +1,141 @@
+"""Unit + property tests for the functional set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def small_cache(sets=4, ways=2, line=64, policy="lru"):
+    return Cache(CacheConfig("t", sets * ways * line, ways,
+                             line_bytes=line, policy=policy))
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1000, 3, line_bytes=64).sets
+    with pytest.raises(ValueError):
+        Cache(CacheConfig("bad2", 3 * 64 * 3, 3, line_bytes=64))
+
+
+def test_miss_then_hit():
+    c = small_cache()
+    assert c.lookup(0x1000) is None
+    c.allocate(0x1000, owner="cpu0")
+    assert c.lookup(0x1000) is not None
+    assert c.hits == 1 and c.misses == 1
+
+
+def test_same_line_aliases():
+    c = small_cache()
+    c.allocate(0x1000, owner="cpu0")
+    assert c.lookup(0x1000 + 63) is not None   # same 64B line
+    assert c.lookup(0x1000 + 64) is None       # next line
+
+
+def test_eviction_on_full_set():
+    c = small_cache(sets=1, ways=2)
+    c.allocate(0 * 64, owner="cpu0")
+    c.allocate(1 * 64, owner="cpu0")
+    ev = c.allocate(2 * 64, owner="cpu0")
+    assert ev is not None
+    assert ev.addr == 0                        # LRU victim
+    assert c.occupancy() == 2
+
+
+def test_dirty_eviction_reports_dirty():
+    c = small_cache(sets=1, ways=1)
+    c.allocate(0, write=True, owner="cpu0")
+    ev = c.allocate(64, owner="cpu0")
+    assert ev.dirty
+    assert ev.owner == "cpu0"
+
+
+def test_write_lookup_sets_dirty():
+    c = small_cache()
+    c.allocate(0x40, owner="gpu")
+    line = c.lookup(0x40, write=True)
+    assert line.dirty
+
+
+def test_allocate_existing_line_touches_not_evicts():
+    c = small_cache(sets=1, ways=2)
+    c.allocate(0, owner="cpu0")
+    c.allocate(64, owner="cpu0")
+    assert c.allocate(0, owner="cpu0") is None
+    # 0 is now MRU; allocating a third line evicts 64
+    ev = c.allocate(128, owner="cpu0")
+    assert ev.addr == 64
+
+
+def test_invalidate():
+    c = small_cache()
+    c.allocate(0x80, write=True, owner="cpu1")
+    line = c.invalidate(0x80)
+    assert line is not None and line.dirty
+    assert c.probe(0x80) is None
+    assert c.invalidate(0x80) is None
+
+
+def test_probe_does_not_update_lru():
+    c = small_cache(sets=1, ways=2)
+    c.allocate(0, owner="cpu0")
+    c.allocate(64, owner="cpu0")
+    c.probe(0)                 # must NOT refresh line 0
+    ev = c.allocate(128, owner="cpu0")
+    assert ev.addr == 0
+
+
+def test_occupancy_by_owner_and_flush():
+    c = small_cache(sets=4, ways=2)
+    c.allocate(0, owner="gpu")
+    c.allocate(64, owner="gpu")
+    c.allocate(128, owner="cpu0")
+    occ = c.occupancy_by_owner()
+    assert occ == {"gpu": 2, "cpu0": 1}
+    assert c.flush_owner("gpu") == 2
+    assert c.occupancy() == 1
+
+
+def test_set_index_uses_low_line_bits():
+    c = small_cache(sets=4, ways=2)
+    assert c.set_index(0) == 0
+    assert c.set_index(64) == 1
+    assert c.set_index(4 * 64) == 0
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                min_size=1, max_size=300),
+       st.sampled_from(["lru", "srrip"]))
+def test_property_occupancy_never_exceeds_capacity(ops, policy):
+    c = small_cache(sets=2, ways=4, policy=policy)
+    present = set()
+    for line_idx, write in ops:
+        addr = line_idx * 64
+        if c.lookup(addr, write=write) is None:
+            ev = c.allocate(addr, write=write, owner="cpu0")
+            present.add(addr)
+            if ev is not None:
+                assert ev.addr in present
+                present.discard(ev.addr)
+        # invariants
+        assert c.occupancy() == len(present)
+        assert c.occupancy() <= 8
+        for s in c._sets:
+            assert len(s) <= 4
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+def test_property_present_line_always_hits(ops):
+    c = small_cache(sets=2, ways=4)
+    for line_idx in ops:
+        addr = line_idx * 64
+        probed = c.probe(addr)
+        hit = c.lookup(addr)
+        assert (probed is None) == (hit is None)
+        if hit is None:
+            c.allocate(addr, owner="cpu0")
+        assert c.probe(addr) is not None

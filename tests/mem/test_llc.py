@@ -1,0 +1,212 @@
+"""Unit tests for the shared LLC: hit/miss flow, MSHR merging, bypass,
+inclusion back-invalidation, and writeback paths."""
+
+import pytest
+
+from repro.config import LlcConfig
+from repro.mem.llc import SharedLLC
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+
+DRAM_LAT = 100
+
+
+class FakeDram:
+    """Completes every read after a fixed delay; records traffic."""
+
+    def __init__(self, sim, latency=DRAM_LAT):
+        self.sim = sim
+        self.latency = latency
+        self.reads = []
+        self.writes = []
+
+    def send(self, req):
+        if req.is_write:
+            self.writes.append(req.addr)
+        else:
+            self.reads.append(req.addr)
+            self.sim.after(self.latency, req.complete)
+
+
+def make_llc(sim, size=64 * 1024, mshr=4):
+    dram = FakeDram(sim)
+    cfg = LlcConfig(size_bytes=size, mshr_entries=mshr)
+    llc = SharedLLC(sim, cfg, dram_send=dram.send)
+    return llc, dram
+
+
+def read(addr, done, src="cpu0", kind="load"):
+    return MemRequest(addr, False, src, kind,
+                      on_done=lambda r: done.append((addr, r)))
+
+
+def test_read_miss_goes_to_dram_then_hits():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    done = []
+    llc.access(read(0x1000, done))
+    sim.run()
+    assert len(done) == 1
+    assert dram.reads == [0x1000]
+    done2 = []
+    llc.access(read(0x1000, done2))
+    sim.run()
+    assert len(done2) == 1
+    assert dram.reads == [0x1000]      # second access hit
+    assert llc.stats.get("cpu_hits") == 1
+    assert llc.stats.get("cpu_misses") == 1
+
+
+def test_secondary_miss_merges():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    done = []
+    llc.access(read(0x2000, done))
+    llc.access(read(0x2000, done))     # while fill in flight
+    sim.run()
+    assert len(done) == 2
+    assert dram.reads == [0x2000]      # one fill only
+
+
+def test_mshr_full_queues_and_drains():
+    sim = Simulator()
+    llc, dram = make_llc(sim, mshr=2)
+    done = []
+    for i in range(5):
+        llc.access(read(0x4000 + i * 64, done))
+    sim.run()
+    assert len(done) == 5
+    assert len(dram.reads) == 5
+    assert llc.mshr.stats.get("full_stalls") >= 1
+
+
+def test_write_hit_marks_dirty():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    done = []
+    llc.access(read(0, done, src="gpu", kind="color"))
+    sim.run()
+    assert not llc.cache.probe(0).dirty
+    llc.access(MemRequest(0, True, "gpu", "color"))
+    sim.run()
+    assert llc.cache.probe(0).dirty
+
+
+def test_dirty_eviction_writes_back_to_dram():
+    sim = Simulator()
+    # tiny LLC: 1 set x 16 ways; 17 dirty GPU lines -> one eviction
+    llc, dram = make_llc(sim, size=16 * 64)
+    for i in range(17):
+        llc.access(MemRequest(i * 64, True, "gpu", "color"))
+    sim.run()
+    assert len(dram.writes) == 1
+    assert llc.stats.get("writebacks_to_dram") == 1
+    assert llc.cache.occupancy() == 16
+
+
+def test_write_miss_allocates_without_fetch():
+    """Full-line writebacks (e.g. GPU ROP flushes) allocate dirty with
+    no DRAM read (paper footnote 6)."""
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    llc.access(MemRequest(0x8000, True, "gpu", "color"))
+    sim.run()
+    assert dram.reads == []
+    assert llc.cache.probe(0x8000).dirty
+
+
+def test_back_invalidation_on_cpu_eviction():
+    sim = Simulator()
+    llc, dram = make_llc(sim, size=16 * 64)
+    invalidated = []
+    llc.back_invalidate = lambda owner, addr: (
+        invalidated.append((owner, addr)), False)[1]
+    done = []
+    llc.access(read(0, done, src="cpu2"))
+    sim.run()
+    for i in range(1, 17):
+        llc.access(read(i * 64, done, src="gpu", kind="texture"))
+        sim.run()
+    assert ("cpu2", 0) in invalidated
+    assert llc.stats.get("back_invalidations") >= 1
+
+
+def test_back_invalidation_dirty_core_copy_reaches_dram():
+    sim = Simulator()
+    llc, dram = make_llc(sim, size=16 * 64)
+    llc.back_invalidate = lambda owner, addr: True   # core copy dirty
+    done = []
+    llc.access(read(0, done, src="cpu0"))
+    sim.run()
+    for i in range(1, 17):
+        llc.access(read(i * 64, done, src="gpu", kind="texture"))
+        sim.run()
+    assert 0 in dram.writes
+
+
+def test_gpu_eviction_does_not_back_invalidate():
+    sim = Simulator()
+    llc, dram = make_llc(sim, size=16 * 64)
+    calls = []
+    llc.back_invalidate = lambda owner, addr: (calls.append(owner), False)[1]
+    done = []
+    for i in range(17):
+        llc.access(read(i * 64, done, src="gpu", kind="depth"))
+        sim.run()
+    assert calls == []                 # non-inclusive for GPU lines
+
+
+def test_bypass_fn_skips_allocation_for_gpu_reads():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    llc.bypass_fn = lambda req: True
+    done = []
+    llc.access(read(0x9000, done, src="gpu", kind="texture"))
+    sim.run()
+    assert len(done) == 1
+    assert llc.cache.probe(0x9000) is None
+    assert llc.stats.get("gpu_bypassed_fills") == 1
+    # and a repeat is a miss again (no reuse)
+    llc.access(read(0x9000, done, src="gpu", kind="texture"))
+    sim.run()
+    assert len(dram.reads) == 2
+
+
+def test_bypass_fn_never_applies_to_cpu():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    llc.bypass_fn = lambda req: True
+    done = []
+    llc.access(read(0xa000, done, src="cpu1"))
+    sim.run()
+    assert llc.cache.probe(0xa000) is not None
+
+
+def test_per_kind_gpu_stats():
+    sim = Simulator()
+    llc, dram = make_llc(sim)
+    done = []
+    llc.access(read(0, done, src="gpu", kind="texture"))
+    llc.access(read(64, done, src="gpu", kind="depth"))
+    llc.access(read(128, done, src="gpu", kind="texture"))
+    sim.run()
+    assert llc.stats.get("gpu_texture_accesses") == 2
+    assert llc.stats.get("gpu_depth_accesses") == 1
+
+
+def test_response_delay_applied():
+    sim = Simulator()
+    dram = FakeDram(sim)
+    cfg = LlcConfig(size_bytes=64 * 1024)
+    llc = SharedLLC(sim, cfg, dram_send=dram.send,
+                    response_delay=lambda r: 7)
+    done = []
+    llc.access(read(0, done))
+    sim.run()
+    t_first = sim.now
+    # hit path: latency + response delay
+    llc.access(read(0, done))
+    start = sim.now
+    sim.run()
+    assert sim.now - start == cfg.latency + 7

@@ -1,0 +1,97 @@
+"""Tests for the LLC policy hooks: insertion override, eviction
+observer, and their interplay with bypass."""
+
+from repro.config import LlcConfig
+from repro.mem.llc import SharedLLC
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+
+class FakeDram:
+    def __init__(self, sim):
+        self.sim = sim
+        self.reads = []
+
+    def send(self, req):
+        if not req.is_write:
+            self.reads.append(req.addr)
+            self.sim.after(50, req.complete)
+
+
+def make(sim, size=16 * 64):
+    dram = FakeDram(sim)
+    llc = SharedLLC(sim, LlcConfig(size_bytes=size), dram_send=dram.send)
+    return llc, dram
+
+
+def read(addr, src="gpu", kind="texture"):
+    return MemRequest(addr, False, src, kind, on_done=lambda r: None)
+
+
+def test_fill_rrpv_override_applied():
+    sim = Simulator()
+    llc, _ = make(sim)
+    llc.fill_rrpv_fn = lambda req: 3 if req.is_gpu else None
+    llc.access(read(0x100, src="gpu"))
+    llc.access(read(0x2000, src="cpu0", kind="load"))
+    sim.run()
+    assert llc.cache.probe(0x100).repl == 3       # overridden
+    assert llc.cache.probe(0x2000).repl == 2      # SRRIP default (max-1)
+
+
+def test_override_none_keeps_default():
+    sim = Simulator()
+    llc, _ = make(sim)
+    llc.fill_rrpv_fn = lambda req: None
+    llc.access(read(0x40))
+    sim.run()
+    assert llc.cache.probe(0x40).repl == 2
+
+
+def test_demoted_lines_evicted_first():
+    sim = Simulator()
+    llc, _ = make(sim)                 # 1 set x 16 ways
+    llc.fill_rrpv_fn = lambda req: 3 if req.kind == "texture" else None
+    # fill 8 texture (demoted) + 8 depth (default) lines
+    for i in range(8):
+        llc.access(read(i * 64, kind="texture"))
+    for i in range(8, 16):
+        llc.access(read(i * 64, kind="depth"))
+    sim.run()
+    evicted = []
+    llc.eviction_observer = lambda o, k, r: evicted.append(k)
+    for i in range(16, 22):
+        llc.access(read(i * 64, kind="depth"))
+    sim.run()
+    assert evicted
+    assert set(evicted[:4]) == {"texture"}        # demoted go first
+
+
+def test_eviction_observer_sees_reuse_flag():
+    sim = Simulator()
+    llc, _ = make(sim)
+    seen = {}
+    llc.eviction_observer = lambda o, k, r: seen.setdefault(k, r)
+    llc.access(read(0, kind="color"))
+    sim.run()
+    llc.access(read(0, kind="color"))             # reuse line 0
+    sim.run()
+    for i in range(1, 17):
+        llc.access(read(i * 64, kind="vertex"))
+    sim.run()
+    # line 0 (reused) eventually evicts with reused=True; some vertex
+    # line evicts dead
+    assert seen.get("color") is True or "vertex" in seen
+
+
+def test_bypass_beats_override():
+    """A bypassed fill never allocates, so the override is moot."""
+    sim = Simulator()
+    llc, dram = make(sim)
+    llc.bypass_fn = lambda req: True
+    calls = []
+    llc.fill_rrpv_fn = lambda req: calls.append(req) or 0
+    llc.access(read(0x40))
+    sim.run()
+    assert llc.cache.probe(0x40) is None
+    assert not calls                   # override not consulted

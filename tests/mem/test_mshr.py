@@ -1,0 +1,54 @@
+"""Unit tests for the MSHR file."""
+
+import pytest
+
+from repro.mem.mshr import MshrFile
+from repro.mem.request import MemRequest
+
+
+def req(addr, src="cpu0"):
+    return MemRequest(addr, False, src)
+
+
+def test_primary_then_merge():
+    m = MshrFile(4)
+    assert m.allocate(0x100, req(0x100), now=0) is not None
+    assert m.allocate(0x100, req(0x100), now=1) is None
+    assert len(m) == 1
+    waiters = m.complete(0x100)
+    assert len(waiters) == 2
+    assert len(m) == 0
+
+
+def test_full_and_note():
+    m = MshrFile(2)
+    m.allocate(0, req(0), 0)
+    m.allocate(64, req(64), 0)
+    assert m.full
+    with pytest.raises(RuntimeError):
+        m.allocate(128, req(128), 0)
+    m.note_full()
+    assert m.stats.get("full_stalls") == 1
+    # merging onto existing entries is still allowed when full
+    assert m.allocate(0, req(0), 1) is None
+
+
+def test_complete_unknown_raises():
+    m = MshrFile(2)
+    with pytest.raises(KeyError):
+        m.complete(0xdead)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MshrFile(0)
+
+
+def test_outstanding_listing_and_stats():
+    m = MshrFile(8)
+    m.allocate(0, req(0), 0)
+    m.allocate(64, req(64), 0)
+    m.allocate(64, req(64), 0)
+    assert sorted(m.outstanding()) == [0, 64]
+    assert m.stats.get("primary_misses") == 2
+    assert m.stats.get("secondary_merges") == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.at(10, lambda: log.append("b"))
+    sim.at(5, lambda: log.append("a"))
+    sim.at(20, lambda: log.append("c"))
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 20
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    log = []
+    for i in range(10):
+        sim.at(7, lambda i=i: log.append(i))
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    times = []
+    def chain():
+        times.append(sim.now)
+        if len(times) < 3:
+            sim.after(5, chain)
+    sim.after(5, chain)
+    sim.run()
+    assert times == [5, 10, 15]
+
+
+def test_schedule_in_past_raises():
+    sim = Simulator()
+    sim.at(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.after(-1, lambda: None)
+
+
+def test_cancel_is_lazy_but_effective():
+    sim = Simulator()
+    log = []
+    ev = sim.at(5, lambda: log.append("x"))
+    ev.cancel()
+    sim.at(6, lambda: log.append("y"))
+    executed = sim.run()
+    assert log == ["y"]
+    assert executed == 1
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    log = []
+    sim.at(5, lambda: log.append(5))
+    sim.at(15, lambda: log.append(15))
+    sim.run(until=10)
+    assert log == [5]
+    assert sim.now == 10
+    sim.run()
+    assert log == [5, 15]
+
+
+def test_run_until_does_not_advance_past_queue_drain():
+    sim = Simulator()
+    sim.at(3, lambda: None)
+    sim.run(until=1_000_000)
+    assert sim.now == 3
+
+
+def test_stop_exits_immediately():
+    sim = Simulator()
+    log = []
+    sim.at(1, lambda: (log.append(1), sim.stop()))
+    sim.at(2, lambda: log.append(2))
+    sim.run()
+    assert log == [1]
+    # remaining event still pending
+    assert sim.pending() == 1
+
+
+def test_max_events():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(i, lambda: None)
+    assert sim.run(max_events=4) == 4
+    assert sim.pending() == 6
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    log = []
+    sim.at(1, lambda: sim.after(1, lambda: log.append("inner")))
+    sim.run()
+    assert log == ["inner"]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=60))
+def test_property_execution_order_is_sorted_stable(times):
+    sim = Simulator()
+    log = []
+    for seq, t in enumerate(times):
+        sim.at(t, lambda t=t, seq=seq: log.append((t, seq)))
+    sim.run()
+    assert log == sorted(log)
+    assert len(log) == len(times)

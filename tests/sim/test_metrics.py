@@ -1,0 +1,52 @@
+"""Unit tests for the performance metrics."""
+
+import pytest
+
+from repro.sim.metrics import (RunResult, combined_performance, geomean,
+                               weighted_speedup)
+
+
+def result(cpu_ipcs, apps):
+    return RunResult(
+        mix_name="t", policy_name="baseline", scale_name="smoke",
+        ticks=1000, cpu_apps=tuple(apps), cpu_ipcs=cpu_ipcs,
+        gpu_app=None, fps=0.0, frames_rendered=0, frame_cycles=[],
+        llc={}, dram={}, dram_gpu_read_bytes=0, dram_gpu_write_bytes=0,
+        dram_cpu_read_bytes=0, dram_cpu_write_bytes=0,
+        dram_row_hit_rate=0.0)
+
+
+def test_weighted_speedup_definition():
+    r = result({0: 1.0, 1: 0.5}, (401, 403))
+    ws = weighted_speedup(r, {401: 2.0, 403: 1.0})
+    assert ws == pytest.approx(0.5 + 0.5)
+
+
+def test_weighted_speedup_requires_alone_ipcs():
+    r = result({0: 1.0}, (401,))
+    with pytest.raises(KeyError):
+        weighted_speedup(r, {})
+    with pytest.raises(ValueError):
+        weighted_speedup(r, {401: 0.0})
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([2.0, 0.0]) == pytest.approx(2.0)   # zeros skipped
+
+
+def test_combined_performance_equal_weight():
+    assert combined_performance(1.0, 1.0) == pytest.approx(1.0)
+    assert combined_performance(1.21, 1.0 / 1.21) == pytest.approx(1.0)
+    # losing GPU cannot be fully paid by CPU gains of the same ratio
+    assert combined_performance(0.5, 1.0) < 1.0
+
+
+def test_runresult_convenience_props():
+    r = result({}, ())
+    r.llc = {"cpu_misses": 10, "gpu_misses": 20}
+    assert r.cpu_llc_misses == 10
+    assert r.gpu_llc_misses == 20
+    r2 = result({}, ())
+    assert r2.cpu_llc_misses == 0

@@ -1,0 +1,57 @@
+"""Tests for experiment orchestration and memoisation."""
+
+import pytest
+
+from repro.mixes import Mix
+from repro.sim import runner
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    runner.clear_caches()
+    yield
+    runner.clear_caches()
+
+
+def test_standalone_cpu_memoised():
+    a = runner.standalone_cpu(403, "smoke")
+    b = runner.standalone_cpu(403, "smoke")
+    assert a is b
+    c = runner.standalone_cpu(403, "smoke", seed=2)
+    assert c is not a
+
+
+def test_standalone_gpu_memoised():
+    a = runner.standalone_gpu("NFS", "smoke")
+    assert a is runner.standalone_gpu("NFS", "smoke")
+    assert a.gpu_app == "NFS"
+    assert a.cpu_apps == ()
+
+
+def test_alone_ipcs_shape():
+    out = runner.alone_ipcs((403, 401), "smoke")
+    assert set(out) == {403, 401}
+    assert all(v > 0 for v in out.values())
+
+
+def test_run_mix_accepts_policy_names():
+    r = runner.run_mix("W8", "baseline", scale="smoke")
+    assert r.policy_name == "baseline"
+    assert r.mix_name == "W8"
+
+
+def test_weighted_speedup_for_standalone_is_n_apps():
+    """A mix measured against itself standalone: each app's alone run
+    has WS contribution exactly 1."""
+    r = runner.standalone_cpu(403, "smoke")
+    ws = runner.weighted_speedup_for(r, "smoke")
+    assert ws == pytest.approx(1.0)
+
+
+def test_run_system_with_custom_mix():
+    m = Mix("custom", "HL2", (401, 470))
+    from repro.config import default_config
+    r = runner.run_system(default_config("smoke", n_cpus=2), m,
+                          "baseline")
+    assert len(r.cpu_ipcs) == 2
+    assert r.gpu_app == "HL2"

@@ -1,0 +1,51 @@
+"""Unit tests for counters and stat sets."""
+
+from repro.sim.stats import Accumulator, Counter, StatSet
+
+
+def test_counter_basics():
+    c = Counter("x")
+    c.inc()
+    c.inc(5)
+    assert int(c) == 6
+    c.reset()
+    assert c.value == 0
+
+
+def test_accumulator_tracks_min_max_mean():
+    a = Accumulator("lat")
+    for v in (10, 20, 30):
+        a.add(v)
+    assert a.n == 3
+    assert a.min == 10
+    assert a.max == 30
+    assert a.mean == 20.0
+    a.reset()
+    assert a.n == 0 and a.mean == 0.0 and a.min is None
+
+
+def test_statset_counter_identity():
+    s = StatSet("llc")
+    assert s.counter("hits") is s.counter("hits")
+    s.counter("hits").inc(3)
+    assert s.get("hits") == 3
+    assert s.get("missing") == 0
+
+
+def test_statset_snapshot_and_diff():
+    s = StatSet("mc")
+    s.counter("reads").inc(10)
+    snap = s.snapshot()
+    s.counter("reads").inc(7)
+    s.counter("writes").inc(2)
+    d = s.diff(snap)
+    assert d == {"reads": 7, "writes": 2}
+
+
+def test_statset_reset():
+    s = StatSet("x")
+    s.counter("a").inc()
+    s.accumulator("b").add(5)
+    s.reset()
+    assert s.get("a") == 0
+    assert s.accumulator("b").n == 0

@@ -1,0 +1,102 @@
+"""Integration tests: the assembled heterogeneous CMP end to end."""
+
+import pytest
+
+from repro.config import default_config
+from repro.mixes import MIXES_M, MIXES_W, Mix
+from repro.sim.metrics import collect
+from repro.sim.system import HeterogeneousSystem
+
+
+def run(mix, scale="smoke", policy=None, seed=1, n_cpus=None):
+    cfg = default_config(scale=scale,
+                         n_cpus=n_cpus if n_cpus is not None
+                         else mix.n_cpus, seed=seed)
+    return HeterogeneousSystem(cfg, mix, policy).run()
+
+
+def test_cpu_only_run_completes():
+    s = run(Mix("c", None, (403,)))
+    core = s.cores[0]
+    assert core.done
+    assert core.ipc_achieved() > 0
+    assert s.llc.stats.get("cpu_accesses") > 0
+    assert s.dram.reads("cpu") > 0
+    assert s.gpu is None
+
+
+def test_gpu_only_run_completes():
+    s = run(Mix("g", "NFS", ()))
+    assert s.gpu.frames_completed == s.cfg.scale.max_frames
+    assert s.gpu_fps() > 0
+    assert s.dram.reads("gpu") > 0
+    assert s.llc.stats.get("gpu_accesses") > 0
+
+
+def test_heterogeneous_run_completes_both_sides():
+    s = run(MIXES_W["W7"])
+    assert s.cores[0].done
+    assert s.gpu.frames_completed >= s.cfg.scale.min_frames
+    assert s.dram.reads("cpu") > 0 and s.dram.reads("gpu") > 0
+
+
+def test_determinism_same_seed_same_result():
+    a = collect(run(MIXES_W["W10"], seed=7))
+    b = collect(run(MIXES_W["W10"], seed=7))
+    assert a.ticks == b.ticks
+    assert a.cpu_ipcs == b.cpu_ipcs
+    assert a.fps == b.fps
+    assert a.llc == b.llc
+
+
+def test_different_seed_different_result():
+    a = collect(run(MIXES_W["W10"], seed=7))
+    b = collect(run(MIXES_W["W10"], seed=8))
+    assert a.ticks != b.ticks or a.cpu_ipcs != b.cpu_ipcs
+
+
+def test_four_core_mix_all_cores_finish():
+    s = run(MIXES_M["M12"])
+    assert all(c.done for c in s.cores)
+    assert len(s.cpu_ipcs()) == 4
+    assert all(v > 0 for v in s.cpu_ipcs().values())
+
+
+def test_address_spaces_disjoint():
+    s = run(MIXES_W["W1"])
+    core_trace = s.cores[0].trace
+    gpu_gen = s.gpu.frames
+    assert core_trace.end_addr <= (8 << 34)
+    assert gpu_gen.rt.color_base >= (8 << 34)
+
+
+def test_contention_hurts_cpu():
+    alone = run(Mix("a", None, (462,)))
+    hetero = run(MIXES_W["W7"])        # 462 + DOOM3
+    assert hetero.cores[0].ipc_achieved() < \
+        alone.cores[0].ipc_achieved()
+
+
+def test_inclusion_back_invalidation_happens_under_pressure():
+    s = run(MIXES_M["M13"])
+    assert s.llc.stats.get("back_invalidations") > 0
+
+
+def test_collect_harvests_consistent_result():
+    s = run(MIXES_W["W5"])
+    r = collect(s)
+    assert r.mix_name == "W5"
+    assert r.policy_name == "baseline"
+    assert r.gpu_app == "COD2"
+    assert r.frames_rendered == len(r.frame_cycles)
+    assert r.ticks == s.sim.now
+    assert r.dram_gpu_read_bytes % 64 == 0
+    assert 0.0 <= r.dram_row_hit_rate <= 1.0
+    assert 0.0 <= r.gpu_texture_share <= 1.0
+
+
+def test_safety_cap_raises():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    system = HeterogeneousSystem(cfg, MIXES_W["W2"])
+    with pytest.raises(RuntimeError):
+        system.run(max_ticks=1000)     # nothing can finish in 1k ticks

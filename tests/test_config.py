@@ -1,0 +1,61 @@
+"""Unit tests for the configuration layer (Table I + scaling)."""
+
+import pytest
+
+from repro.config import (CacheConfig, SCALES, default_config)
+
+
+def test_table1_headline_values():
+    cfg = default_config()
+    assert cfg.n_cpus == 4
+    assert cfg.cpu.l1d.size_bytes == 32 * 1024
+    assert cfg.cpu.l1d.ways == 8
+    assert cfg.cpu.l2.size_bytes == 256 * 1024
+    assert cfg.llc.size_bytes == 16 * 1024 * 1024   # paper value
+    assert cfg.llc.ways == 16
+    assert cfg.llc.policy == "srrip"
+    assert cfg.dram.channels == 2
+    assert cfg.dram.timing.t_cas == 14
+    assert cfg.gpu.shader_cores == 64
+    assert cfg.gpu.rops == 16
+    assert cfg.qos.target_fps == 40.0
+    assert cfg.qos.rtp_table_entries == 64
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig("bad", 1000, 7)
+
+
+def test_scale_presets_are_ordered():
+    assert SCALES["smoke"].gpu_frame_cycles < \
+        SCALES["test"].gpu_frame_cycles < \
+        SCALES["bench"].gpu_frame_cycles < \
+        SCALES["paper"].gpu_frame_cycles
+    assert SCALES["paper"].mem_scale == 1
+
+
+def test_effective_llc_scales_capacity_only():
+    cfg = default_config("test")
+    llc = cfg.effective_llc()
+    assert llc.size_bytes == cfg.scale.llc_bytes
+    assert llc.ways == 16
+    assert llc.policy == "srrip"
+
+
+def test_effective_cpu_scales_private_caches():
+    cfg = default_config("test")     # mem_scale 4
+    cpu = cfg.effective_cpu()
+    assert cpu.l1d.size_bytes == 8 * 1024
+    assert cpu.l2.size_bytes == 64 * 1024
+    paper = default_config("paper")  # mem_scale 1
+    assert paper.effective_cpu().l1d.size_bytes == 32 * 1024
+
+
+def test_with_helpers():
+    cfg = default_config().with_scale("smoke").with_cpus(2)
+    assert cfg.scale.name == "smoke"
+    assert cfg.n_cpus == 2
+    cfg2 = cfg.with_qos(target_fps=50.0)
+    assert cfg2.qos.target_fps == 50.0
+    assert cfg.qos.target_fps == 40.0   # frozen original untouched

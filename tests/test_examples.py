@@ -1,0 +1,83 @@
+"""Every shipped example must run end to end at smoke scale.
+
+These are the repository's living documentation; a broken example is a
+broken deliverable.  Each test drives the example's ``main()`` with a
+patched argv (smoke scale, smallest mixes).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def run_example(monkeypatch, capsys, name, argv):
+    mod = load(name)
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"] + argv)
+    mod.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart",
+                      ["--scale", "smoke", "--mix", "M7"])
+    assert "baseline" in out and "proposal" in out
+    assert "FPS" in out
+
+
+def test_frame_rate_estimator(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "frame_rate_estimator",
+                      ["--scale", "smoke", "--game", "Quake4"])
+    assert "phase transitions" in out
+    assert "prediction" in out
+
+
+def test_throttle_timeline(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "throttle_timeline",
+                      ["--scale", "smoke"])
+    assert "wg_ticks" in out
+    assert "FRPU" in out
+
+
+def test_hpc_visualization(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "hpc_visualization",
+                      ["--scale", "smoke"])
+    assert "simulation weighted speedup" in out
+
+
+def test_game_physics(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "game_physics",
+                      ["--scale", "smoke"])
+    assert "GPU FPS" in out
+    assert "429" in out
+
+
+def test_memory_trace_analysis(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "memory_trace_analysis",
+                      ["--scale", "smoke", "--mix", "M12"])
+    assert "recorded" in out
+    assert "replaying the GPU" in out
+    assert "energy" in out
+
+
+def test_scheduler_shootout_subset(monkeypatch, capsys):
+    # patch the policy list down to keep the smoke run quick
+    mod = load("scheduler_shootout")
+    monkeypatch.setattr(mod, "POLICIES", ["baseline", "throtcpuprio"])
+    monkeypatch.setattr(sys, "argv",
+                        ["scheduler_shootout.py", "--scale", "smoke",
+                         "--mix", "M7"])
+    mod.main()
+    out = capsys.readouterr().out
+    assert "throtcpuprio" in out

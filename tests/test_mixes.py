@@ -1,0 +1,58 @@
+"""Unit tests for the Table III workload mixes."""
+
+import pytest
+
+from repro.gpu.workloads import HIGH_FPS_GAMES
+from repro.mixes import (HIGH_FPS_MIXES, LOW_FPS_MIXES, MIXES_M, MIXES_W,
+                         Mix, mix)
+
+
+def test_fourteen_of_each():
+    assert len(MIXES_M) == 14
+    assert len(MIXES_W) == 14
+
+
+def test_m_mixes_have_four_cpu_apps_and_one_gpu_app():
+    for m in MIXES_M.values():
+        assert m.n_cpus == 4
+        assert m.gpu_app is not None
+        assert len(set(m.cpu_apps)) == 4    # distinct apps per mix
+
+
+def test_w_mixes_have_one_cpu_app():
+    for m in MIXES_W.values():
+        assert m.n_cpus == 1
+
+
+def test_table3_spot_checks():
+    assert MIXES_M["M1"].gpu_app == "3DMark06GT1"
+    assert MIXES_M["M1"].cpu_apps == (403, 450, 481, 482)
+    assert MIXES_M["M7"].gpu_app == "DOOM3"
+    assert MIXES_M["M7"].cpu_apps == (410, 433, 462, 471)
+    assert MIXES_W["W8"].cpu_apps == (403,)
+    assert MIXES_M["M14"].cpu_apps == (403, 437, 450, 481)
+
+
+def test_high_low_split():
+    assert len(HIGH_FPS_MIXES) == 6
+    assert len(LOW_FPS_MIXES) == 8
+    for name in HIGH_FPS_MIXES:
+        assert MIXES_M[name].gpu_app in HIGH_FPS_GAMES
+
+
+def test_mix_lookup():
+    assert mix("M3") is MIXES_M["M3"]
+    assert mix("W3") is MIXES_W["W3"]
+    with pytest.raises(KeyError):
+        mix("M15")
+
+
+def test_mix_validation():
+    with pytest.raises(KeyError):
+        Mix("bad", "NoSuchGame", (403,))
+    with pytest.raises(KeyError):
+        Mix("bad", None, (999,))
+
+
+def test_cpu_label():
+    assert MIXES_M["M1"].cpu_label() == "403,450,481,482"

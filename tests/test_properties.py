@@ -1,0 +1,57 @@
+"""Cross-module property tests: system-level invariants under random
+(but tiny) workload configurations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import default_config
+from repro.cpu.spec import SPEC_PROFILES
+from repro.gpu.workloads import GAME_ORDER
+from repro.mixes import Mix
+from repro.sim.metrics import collect
+from repro.sim.system import HeterogeneousSystem
+
+
+@settings(max_examples=3, deadline=None)
+@given(st.sampled_from(GAME_ORDER),
+       st.sampled_from(sorted(SPEC_PROFILES)),
+       st.integers(1, 50))
+def test_property_any_w_style_mix_completes_consistently(game, spec_id,
+                                                         seed):
+    cfg = default_config(scale="smoke", n_cpus=1, seed=seed)
+    s = HeterogeneousSystem(cfg, Mix("p", game, (spec_id,))).run()
+    r = collect(s)
+    # conservation: LLC accesses >= LLC misses, DRAM reads <= misses
+    assert r.llc["cpu_accesses"] >= r.llc["cpu_misses"]
+    assert r.llc["gpu_accesses"] >= r.llc["gpu_misses"]
+    # every DRAM read serves an LLC fill (bypass included) or prefetch
+    assert r.dram["cpu_reads"] + r.dram["gpu_reads"] > 0
+    # frames rendered within the preset's bounds
+    assert cfg.scale.min_frames <= r.frames_rendered <= \
+        cfg.scale.max_frames
+    # IPC is physical
+    assert 0 < r.cpu_ipcs[0] <= cfg.cpu.issue_width
+
+
+@settings(max_examples=3, deadline=None)
+@given(st.sampled_from(["baseline", "throtcpuprio", "dynprio", "helm"]),
+       st.integers(1, 20))
+def test_property_policies_preserve_invariants(policy, seed):
+    from repro.policies import make_policy
+    cfg = default_config(scale="smoke", n_cpus=2, seed=seed)
+    mix = Mix("p", "Quake4", (403, 462))
+    s = HeterogeneousSystem(cfg, mix, make_policy(policy)).run()
+    r = collect(s)
+    assert all(c.done for c in s.cores)
+    assert r.fps > 0
+    # LLC occupancy never exceeds capacity
+    assert s.llc.cache.occupancy() <= \
+        cfg.scale.llc_bytes // cfg.llc.line_bytes
+    # MSHRs drained at completion
+    assert len(s.llc.mshr) == 0 or s.sim.pending() > 0
+
+
+def test_gpu_occupancy_split_accounts_all_lines():
+    cfg = default_config(scale="smoke", n_cpus=1, seed=3)
+    s = HeterogeneousSystem(cfg, Mix("p", "HL2", (437,))).run()
+    total = s.llc.cache.occupancy()
+    assert s.llc.gpu_occupancy() + s.llc.cpu_occupancy() == total

@@ -1,0 +1,35 @@
+"""Unit tests for the MemRequest transaction type."""
+
+from repro.mem.request import CPU_SOURCES, GPU_KINDS, GPU_SOURCE, \
+    MemRequest
+
+
+def test_source_classification():
+    assert MemRequest(0, False, "gpu").is_gpu
+    assert not MemRequest(0, False, "cpu3").is_gpu
+    assert GPU_SOURCE == "gpu"
+    assert "cpu0" in CPU_SOURCES
+
+
+def test_complete_invokes_callback_once_per_call():
+    hits = []
+    r = MemRequest(0x40, False, "cpu0", on_done=lambda q: hits.append(q))
+    r.complete()
+    assert hits == [r]
+
+
+def test_complete_without_callback_is_noop():
+    MemRequest(0, True, "gpu", "color").complete()   # must not raise
+
+
+def test_repr_readable():
+    r = MemRequest(0x1000, True, "gpu", "depth")
+    assert "W" in repr(r) and "gpu" in repr(r) and "depth" in repr(r)
+
+
+def test_gpu_kinds_enumeration():
+    assert {"texture", "depth", "color", "vertex"} <= set(GPU_KINDS)
+
+
+def test_bypass_flag_default_false():
+    assert not MemRequest(0, False, "gpu").bypass

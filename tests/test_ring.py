@@ -1,0 +1,43 @@
+"""Unit tests for the bidirectional ring interconnect."""
+
+from hypothesis import given, strategies as st
+
+from repro.config import RingConfig
+from repro.interconnect.ring import RingInterconnect
+
+
+def test_stop_layout():
+    r = RingInterconnect(RingConfig(), n_cpus=4)
+    assert r.stops == ["cpu0", "cpu1", "cpu2", "cpu3", "gpu", "llc",
+                       "mc0", "mc1"]
+
+
+def test_shorter_direction_chosen():
+    r = RingInterconnect(RingConfig(), n_cpus=4)
+    # cpu0 -> mc1: clockwise 7 hops, counter-clockwise 1
+    assert r.hops("cpu0", "mc1") == 1
+    assert r.hops("cpu0", "llc") == 3
+    assert r.hops("gpu", "llc") == 1
+    assert r.hops("llc", "llc") == 0
+
+
+def test_delay_is_hops_times_hop_ticks():
+    r = RingInterconnect(RingConfig(hop_ticks=2), n_cpus=2)
+    assert r.delay("cpu0", "llc") == 2 * r.hops("cpu0", "llc")
+
+
+def test_traffic_stats():
+    r = RingInterconnect(RingConfig(), n_cpus=2)
+    r.delay("cpu0", "llc")
+    r.delay("gpu", "llc")
+    assert r.stats.get("messages") == 2
+    assert r.mean_hops() > 0
+
+
+@given(st.integers(1, 8))
+def test_property_symmetric_distances(n_cpus):
+    r = RingInterconnect(RingConfig(), n_cpus=n_cpus)
+    for a in r.stops:
+        for b in r.stops:
+            assert r.hops(a, b) == r.hops(b, a)
+            assert 0 <= r.hops(a, b) <= r.n // 2

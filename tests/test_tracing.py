@@ -1,0 +1,91 @@
+"""Tests for LLC-trace capture and replay."""
+
+import numpy as np
+import pytest
+
+from repro.config import LlcConfig, default_config
+from repro.mem.llc import SharedLLC
+from repro.mixes import MIXES_W
+from repro.sim.engine import Simulator
+from repro.sim.system import HeterogeneousSystem
+from repro.tracing import (LlcTrace, TraceRecorder, TraceReplayer,
+                           KIND_CODES, SOURCE_CODES)
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    cfg = default_config(scale="smoke", n_cpus=1)
+    system = HeterogeneousSystem(cfg, MIXES_W["W8"])
+    rec = TraceRecorder.attach(system)
+    system.run()
+    return rec.trace(), system
+
+
+def test_recording_captures_both_sides(recorded):
+    trace, system = recorded
+    assert len(trace) > 100
+    s = trace.summary()
+    assert s["from_gpu"] > 0
+    assert s["from_cpu0"] > 0
+    assert 0.0 < s["write_frac"] < 1.0
+    assert s["span_ticks"] > 0
+
+
+def test_times_monotonic_and_addrs_aligned(recorded):
+    trace, _ = recorded
+    assert np.all(np.diff(trace.times) >= 0)
+    assert np.all(trace.addrs % 64 == 0)
+
+
+def test_filter_source(recorded):
+    trace, _ = recorded
+    gpu = trace.filter_source("gpu")
+    assert len(gpu) == trace.summary()["from_gpu"]
+    assert np.all(gpu.sources == SOURCE_CODES["gpu"])
+
+
+def test_save_load_roundtrip(tmp_path, recorded):
+    trace, _ = recorded
+    p = tmp_path / "t.npz"
+    trace.save(str(p))
+    back = LlcTrace.load(str(p))
+    assert len(back) == len(trace)
+    assert np.array_equal(back.addrs, trace.addrs)
+    assert np.array_equal(back.kinds, trace.kinds)
+
+
+def test_replay_reissues_all_requests(recorded):
+    trace, _ = recorded
+    gpu = trace.filter_source("gpu")
+    sim = Simulator()
+    served = []
+
+    class Dram:
+        def send(self, req):
+            served.append(req.addr)
+            if req.on_done:
+                sim.after(30, req.complete)
+    llc = SharedLLC(sim, LlcConfig(size_bytes=512 * 1024),
+                    dram_send=Dram().send)
+    rep = TraceReplayer(sim, gpu, llc.access, time_scale=0.5)
+    rep.start()
+    sim.run()
+    assert rep.issued == len(gpu)
+    reads = int((~gpu.writes).sum())
+    assert rep.completed == reads
+    assert llc.stats.get("gpu_accesses") == len(gpu)
+
+
+def test_replay_time_scale_compresses():
+    sim = Simulator()
+    t = LlcTrace(np.array([0, 1000], dtype=np.int64),
+                 np.array([0, 64], dtype=np.int64),
+                 np.array([True, True]),
+                 np.array([16, 16], dtype=np.uint8),
+                 np.array([KIND_CODES["color"]] * 2, dtype=np.uint8))
+    seen = []
+    rep = TraceReplayer(sim, t, lambda r: seen.append(sim.now),
+                        time_scale=0.25)
+    rep.start()
+    sim.run()
+    assert seen == [0, 250]

@@ -5,14 +5,20 @@ a fast-but-noisy pass, ``bench``/``paper`` for higher fidelity).  Mix
 subsetting: ``REPRO_BENCH_FULL=1`` runs every mix a figure uses; the
 default covers a representative subset per figure.
 
-Heterogeneous and standalone runs are memoised inside
-:mod:`repro.analysis.experiments` / :mod:`repro.sim.runner`, so benches
-that share runs (Figs. 9-11, 12-14) do not repeat them.
+Heterogeneous and standalone runs are cached through :mod:`repro.exec`
+(memory + persistent ``.repro_cache/`` disk layers), so benches that
+share runs (Figs. 9-11, 12-14) do not repeat them, and a re-run of the
+same bench session is served from disk.  Each figure prefetches its run
+set through ``run_many``; ``REPRO_JOBS`` (defaulted here to the core
+count) fans the cache misses across worker processes — set
+``REPRO_JOBS=1`` to force the serial path.
 """
 
 import os
 
 import pytest
+
+os.environ.setdefault("REPRO_JOBS", str(os.cpu_count() or 1))
 
 
 @pytest.fixture(scope="session")

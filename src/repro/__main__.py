@@ -6,13 +6,22 @@ Examples::
     python -m repro standalone --game DOOM3 --scale smoke
     python -m repro standalone --spec 429
     python -m repro compare --mix M7 --policies baseline,throtcpuprio
+    python -m repro compare --mix M7 --policies baseline,sms-0.9 --jobs 4
     python -m repro list
     python -m repro report --experiment fig9 --scale smoke
+    python -m repro cache            # show cache location / size / salt
+    python -m repro cache --clear
+
+Independent runs route through :mod:`repro.exec`: results persist in the
+on-disk cache (``.repro_cache/`` by default) and ``--jobs N`` (or the
+``REPRO_JOBS`` environment variable) fans cache misses across N worker
+processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -71,18 +80,41 @@ def cmd_standalone(args) -> int:
     return 0
 
 
+def _progress(outcome, index: int, total: int) -> None:
+    """Per-run progress/timing line (stderr, so tables stay clean)."""
+    if outcome.source == "run":
+        detail = f"ran in {outcome.elapsed:.1f}s"
+    elif outcome.source == "error":
+        detail = "FAILED"
+    else:
+        detail = f"cached ({outcome.source})"
+    print(f"  [{index + 1}/{total}] {outcome.spec.label}: {detail}",
+          file=sys.stderr)
+
+
 def cmd_compare(args) -> int:
+    from repro.exec import mix_spec, run_many
     policies = args.policies.split(",")
+    specs = [mix_spec(args.mix, pol, args.scale, args.seed)
+             for pol in policies]
+    outcomes = run_many(specs, progress=_progress)
     base_ws = None
+    failed = 0
     print(f"{'policy':14s} {'GPU FPS':>8s} {'CPU WS':>8s} {'vs base':>8s}")
-    for pol in policies:
-        r = run_mix(args.mix, pol, scale=args.scale, seed=args.seed)
-        ws = weighted_speedup_for(r, args.scale) if r.cpu_apps else 0.0
+    for pol, out in zip(policies, outcomes):
+        if not out.ok:
+            failed += 1
+            last = out.error.strip().splitlines()[-1]
+            print(f"{pol:14s}   failed: {last}")
+            continue
+        r = out.result
+        ws = weighted_speedup_for(r, args.scale, args.seed) \
+            if r.cpu_apps else 0.0
         if base_ws is None:
             base_ws = ws
         rel = ws / base_ws if base_ws else 1.0
         print(f"{pol:14s} {r.fps:8.1f} {ws:8.3f} {rel:8.3f}")
-    return 0
+    return 1 if failed else 0
 
 
 def cmd_list(args) -> int:
@@ -123,6 +155,22 @@ def cmd_trace(args) -> int:
           f"{tr.summary()['span_ticks']:,} ticks -> {args.out}")
     for k, v in tr.summary().items():
         print(f"  {k}: {v}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Inspect or clear the persistent result cache."""
+    from repro.exec import shared_cache
+    c = shared_cache()
+    if args.clear:
+        n = c.clear_disk()
+        print(f"removed {n} cached result(s) from {os.path.abspath(c.root)}")
+        return 0
+    files, size = c.disk_usage()
+    state = "on" if c.disk_enabled() else "off (REPRO_CACHE=0)"
+    print(f"cache dir:  {os.path.abspath(c.root)}  [disk layer {state}]")
+    print(f"entries:    {files} ({size / 1e6:.1f} MB)")
+    print(f"code salt:  {c.salt}")
     return 0
 
 
@@ -174,12 +222,24 @@ def main(argv=None) -> int:
     p.add_argument("--targets", default="30,40,50")
     p.set_defaults(fn=cmd_sweep)
 
+    p = sub.add_parser("cache", help="inspect/clear the result cache")
+    p.add_argument("--clear", action="store_true",
+                   help="delete every persisted result")
+    p.set_defaults(fn=cmd_cache)
+
     for sp in sub.choices.values():
         sp.add_argument("--scale", default="smoke",
                         choices=["smoke", "test", "bench", "paper"])
         sp.add_argument("--seed", type=int, default=1)
+        sp.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent runs "
+                             "(0 = one per core; default: $REPRO_JOBS or 1)")
 
     args = ap.parse_args(argv)
+    if args.jobs is not None:
+        # route every layer (run_many defaults, figure prefetches)
+        # through the requested fan-out
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     return args.fn(args)
 
 

@@ -2,16 +2,21 @@
 
 Every function returns a plain dict of series keyed the way the paper's
 axes are labelled, so benches and the report renderer share the data.
-Heterogeneous runs are memoised per ``(mix, policy, scale, seed)`` —
-Figs. 9, 10 and 11 share the same three runs per mix, and Figs. 12-14
-share their policy sweeps.
+Heterogeneous runs are cached per ``(mix, policy, scale, seed)`` through
+:mod:`repro.exec` (memory + persistent disk layers) — Figs. 9, 10 and 11
+share the same three runs per mix, and Figs. 12-14 share their policy
+sweeps.  When ``REPRO_JOBS`` asks for more than one worker, each figure
+first *prefetches* its full run set through
+:func:`repro.exec.run_many`, fanning independent simulations across
+cores; the figure code then reads everything back from the cache.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.mixes import HIGH_FPS_MIXES, LOW_FPS_MIXES, MIXES_M, MIXES_W
+from repro.exec import (default_jobs, mix_spec, run_cached, run_many,
+                        standalone_cpu_spec, standalone_gpu_spec)
+from repro.mixes import (HIGH_FPS_MIXES, LOW_FPS_MIXES, MIXES_M, MIXES_W,
+                         mix as mix_by_name)
 from repro.sim import runner
 from repro.sim.metrics import RunResult, combined_performance, geomean
 
@@ -20,10 +25,33 @@ COMPARED_POLICIES = ["baseline", "sms-0.9", "sms-0", "dynprio", "helm",
                      "throtcpuprio"]
 
 
-@lru_cache(maxsize=None)
 def hetero(mix_name: str, policy: str, scale: str = "test",
            seed: int = 1) -> RunResult:
-    return runner.run_mix(mix_name, policy, scale=scale, seed=seed)
+    return run_cached(mix_spec(mix_name, policy, scale, seed))
+
+
+def prefetch(pairs, scale: str = "test", seed: int = 1,
+             jobs: int | None = None, alone_cpu: bool = False,
+             alone_gpu_games=()) -> None:
+    """Warm the result cache for a figure's ``(mix, policy)`` pairs.
+
+    A no-op on the serial path (``jobs`` resolves to 1): the figure code
+    then runs each simulation on demand, exactly as before.  With more
+    workers, all misses execute concurrently via :func:`run_many`;
+    failures are deferred to the on-demand path so they surface with
+    their natural traceback.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs <= 1:
+        return
+    specs = [mix_spec(name, pol, scale, seed) for name, pol in pairs]
+    if alone_cpu:
+        apps = sorted({sid for name, _pol in pairs
+                       for sid in mix_by_name(name).cpu_apps})
+        specs += [standalone_cpu_spec(sid, scale, seed) for sid in apps]
+    specs += [standalone_gpu_spec(g, scale, seed)
+              for g in dict.fromkeys(alone_gpu_games)]
+    run_many(specs, jobs=jobs)
 
 
 def _ws_norm(mix_name: str, policy: str, scale: str, seed: int) -> float:
@@ -43,6 +71,9 @@ def fig1(scale: str = "test", seed: int = 1,
     for the W mixes (1 CPU + 1 GPU).  Paper: both sides lose ~22% mean.
     """
     names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    prefetch([(n, "baseline") for n in names], scale, seed,
+             alone_cpu=True,
+             alone_gpu_games=[MIXES_W[n].gpu_app for n in names])
     cpu, gpu = {}, {}
     for name in names:
         m = MIXES_W[name]
@@ -62,6 +93,8 @@ def fig2(scale: str = "test", seed: int = 1,
          mixes: list[str] | None = None) -> dict:
     """GPU FPS, standalone vs heterogeneous, against the 30 FPS line."""
     names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    prefetch([(n, "baseline") for n in names], scale, seed,
+             alone_gpu_games=[MIXES_W[n].gpu_app for n in names])
     standalone, het_fps, games = {}, {}, {}
     for name in names:
         m = MIXES_W[name]
@@ -80,6 +113,8 @@ def fig3(scale: str = "test", seed: int = 1,
     Paper: ~2% mean CPU *loss*; some mixes gain, some lose double digits.
     """
     names = mixes or sorted(MIXES_W, key=lambda n: int(n[1:]))
+    prefetch([(n, pol) for n in names
+              for pol in ("baseline", "bypass-all")], scale, seed)
     speedup = {}
     for name in names:
         base = hetero(name, "baseline", scale, seed)
@@ -97,6 +132,7 @@ def fig8(scale: str = "test", seed: int = 1,
     Paper: average error < 1%, max +6% / -4%.
     """
     names = mixes or sorted(MIXES_M, key=lambda n: int(n[1:]))
+    prefetch([(n, "estimate") for n in names], scale, seed)
     errors, mean_abs = {}, {}
     for name in names:
         r = hetero(name, "estimate", scale, seed)
@@ -119,6 +155,9 @@ def fig9(scale: str = "test", seed: int = 1,
     Paper: FPS lands just above 40; CPU +11% / +18% mean.
     """
     names = mixes or HIGH_FPS_MIXES
+    prefetch([(n, pol) for n in names
+              for pol in ("baseline", "throttle", "throtcpuprio")],
+             scale, seed, alone_cpu=True)
     fps = {p: {} for p in ("baseline", "throttle", "throtcpuprio")}
     ws = {p: {} for p in ("throttle", "throtcpuprio")}
     for name in names:
@@ -139,6 +178,9 @@ def fig10(scale: str = "test", seed: int = 1,
     Paper: GPU misses +39%/+42%; CPU misses -4%/-4.5%.
     """
     names = mixes or HIGH_FPS_MIXES
+    prefetch([(n, pol) for n in names
+              for pol in ("baseline", "throttle", "throtcpuprio")],
+             scale, seed)
     gpu = {p: {} for p in ("throttle", "throtcpuprio")}
     cpu = {p: {} for p in ("throttle", "throtcpuprio")}
     for name in names:
@@ -164,6 +206,9 @@ def fig11(scale: str = "test", seed: int = 1,
     Paper: total GPU bandwidth demand falls 35%/37%.
     """
     names = mixes or HIGH_FPS_MIXES
+    prefetch([(n, pol) for n in names
+              for pol in ("baseline", "throttle", "throtcpuprio")],
+             scale, seed)
 
     def active_ticks(run: RunResult) -> int:
         # bandwidth is normalised over the GPU's *rendering* time, not
@@ -206,6 +251,8 @@ def fig12(scale: str = "test", seed: int = 1,
     """
     names = mixes or HIGH_FPS_MIXES
     pols = policies or COMPARED_POLICIES
+    prefetch([(n, pol) for n in names for pol in pols], scale, seed,
+             alone_cpu=True)
     fps = {p: {} for p in pols}
     ws = {p: {} for p in pols}
     for name in names:
@@ -228,6 +275,8 @@ def fig13(scale: str = "test", seed: int = 1,
     """
     names = mixes or LOW_FPS_MIXES
     pols = policies or COMPARED_POLICIES
+    prefetch([(n, pol) for n in names for pol in pols], scale, seed,
+             alone_cpu=True)
     fps_norm = {p: {} for p in pols}
     ws = {p: {} for p in pols}
     for name in names:
@@ -263,5 +312,5 @@ def fig14(scale: str = "test", seed: int = 1,
 
 
 def clear_caches() -> None:
-    hetero.cache_clear()
+    """Drop the in-process result cache (the disk layer persists)."""
     runner.clear_caches()

@@ -23,7 +23,6 @@ from repro.config import SystemConfig, default_config
 from repro.mixes import mix as mix_by_name
 from repro.policies import make_policy
 from repro.sim.metrics import RunResult
-from repro.sim.runner import run_system
 
 Transform = Callable[[SystemConfig], SystemConfig]
 
@@ -75,18 +74,25 @@ def sweep(mix_name: str, policy: str = "baseline", scale: str = "smoke",
           seed: int = 1,
           variations: Sequence[tuple[str, Transform]] = (),
           runner: Callable[[SystemConfig, object, object], RunResult]
-          = None) -> list[SweepRow]:
+          = None, jobs: int | None = None) -> list[SweepRow]:
     """Run ``mix_name`` under ``policy`` once per variation.
 
-    ``runner`` is injectable for testing; it defaults to
-    :func:`repro.sim.runner.run_system`.
+    The default path routes through :func:`repro.exec.run_many`, so
+    variation runs are cached persistently and fan out across cores
+    when ``jobs`` (or ``REPRO_JOBS``) asks for more than one worker.
+    ``runner`` is injectable for testing; passing one bypasses the
+    executor and runs serially, uncached.
     """
     m = mix_by_name(mix_name)
     base = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
-    run = runner or run_system
-    rows = []
     todo = list(variations) or [("base", lambda cfg: cfg)]
-    for label, transform in todo:
-        cfg = transform(base)
-        rows.append(SweepRow(label, run(cfg, m, make_policy(policy))))
-    return rows
+    if runner is not None:
+        return [SweepRow(label, runner(transform(base), m,
+                                       make_policy(policy)))
+                for label, transform in todo]
+    from repro.exec import RunSpec, run_many
+    specs = [RunSpec(mix=m, policy=policy, scale=scale, seed=seed,
+                     cfg=transform(base)) for _label, transform in todo]
+    outcomes = run_many(specs, jobs=jobs, strict=True)
+    return [SweepRow(label, out.result)
+            for (label, _t), out in zip(todo, outcomes)]

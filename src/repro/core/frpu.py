@@ -62,6 +62,11 @@ class PredictionSample:
 
 
 class FrameRatePredictor:
+    #: outstanding mid-frame predictions kept at most; older entries
+    #: belong to frames that will never reach ``on_frame_complete``
+    #: (run ended mid-frame, learning reset) and would otherwise leak
+    MID_FRAME_BOUND = 4
+
     def __init__(self, rtp_entries: int = 64, verify_threshold: float = 0.25,
                  correct_throttle: bool = True, skip_frames: int = 1,
                  ewma_alpha: float = 0.4):
@@ -109,8 +114,14 @@ class FrameRatePredictor:
         f = c_rtp * self.learned.n_rtp
         # keep the latest mid-frame prediction for error accounting
         if 0.25 <= lam <= 0.75:
-            self._mid_frame_prediction[pipeline._frame_idx] = f
+            self._note_mid_frame(pipeline._frame_idx, f)
         return f
+
+    def _note_mid_frame(self, frame_idx: int, predicted: float) -> None:
+        mid = self._mid_frame_prediction
+        mid[frame_idx] = predicted
+        while len(mid) > self.MID_FRAME_BOUND:
+            del mid[min(mid)]
 
     def predicted_fps(self, pipeline: GpuPipeline, fps_nominal: float,
                       gpu_frame_cycles: int) -> Optional[float]:
@@ -132,6 +143,7 @@ class FrameRatePredictor:
         if not self._verify(rec):
             self.table.reset()
             self.learned = None
+            self._mid_frame_prediction.clear()
             self.phase = Phase.LEARNING
             self.phase_transitions.append((rec.index, Phase.LEARNING))
         else:
@@ -141,11 +153,11 @@ class FrameRatePredictor:
         """EWMA-track the learned aggregates with a verified frame."""
         a = self.ewma_alpha
         learned = self.learned
-        n = len(rec.rtps)
+        n = max(len(rec.rtps), 1)
         cycles = rec.cycles - (rec.throttle_ticks
                                if self.correct_throttle else 0)
         llc = sum(r.llc_accesses for r in rec.rtps)
-        learned.c_avg = (1 - a) * learned.c_avg + a * (cycles / max(n, 1))
+        learned.c_avg = (1 - a) * learned.c_avg + a * (cycles / n)
         learned.llc_accesses = int((1 - a) * learned.llc_accesses + a * llc)
         learned.updates_per_rtp = ((1 - a) * learned.updates_per_rtp +
                                    a * sum(r.updates for r in rec.rtps) / n)
@@ -200,7 +212,10 @@ class FrameRatePredictor:
                 drift(llc, learned.llc_per_rtp) <= thr)
 
     def _log_error(self, rec: FrameRecord) -> None:
-        pred = self._mid_frame_prediction.pop(rec.index, None)
+        mid = self._mid_frame_prediction
+        for idx in [i for i in mid if i < rec.index]:
+            del mid[idx]              # stale: that frame never completed
+        pred = mid.pop(rec.index, None)
         if pred is None:
             return
         actual = rec.cycles - (rec.throttle_ticks

@@ -236,6 +236,17 @@ class SmsScheduler:
         if ctrl.banks[entry.bank].ready_at <= ctrl.sim.now:
             self._current.entries.pop(0)
             return entry
+        # head-of-line blocked: the current batch's bank is busy, so
+        # fall through to the oldest released batch whose head targets
+        # an idle bank (the current batch keeps its position and
+        # resumes once its bank frees up)
+        for batch in self._ready:
+            e = batch.entries[0]
+            if ctrl.banks[e.bank].ready_at <= ctrl.sim.now:
+                batch.entries.pop(0)
+                if not batch.entries:
+                    self._ready.remove(batch)
+                return e
         return None
 
     def pending_reads(self) -> int:

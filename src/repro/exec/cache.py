@@ -1,0 +1,197 @@
+"""Persistent result cache for simulation runs.
+
+Two layers back :func:`repro.exec.run_cached` / :func:`repro.exec.run_many`:
+
+* an in-process **memory** layer (a dict of pristine ``RunResult``s), and
+* an on-disk **pickle** layer under ``.repro_cache/`` that survives
+  between invocations, so a bench session only pays for runs no previous
+  session has done.
+
+Keys are ``RunSpec.key(salt)`` where the salt folds in a digest of the
+package's own source tree (:func:`code_salt`): editing any ``repro``
+module silently invalidates every persisted result, so a stale cache can
+never masquerade as fresh simulation output.  Both layers hand out
+defensive deep copies — callers may mutate what they get back without
+corrupting another figure's normalisation baseline.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache``)
+* ``REPRO_CACHE=0`` — disable the disk layer (memory layer stays)
+* ``REPRO_CACHE_SALT`` — override the code-version salt (testing)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from copy import deepcopy
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.specs import RunSpec
+    from repro.sim.metrics import RunResult
+
+DEFAULT_DIR = ".repro_cache"
+DIR_ENV = "REPRO_CACHE_DIR"
+DISABLE_ENV = "REPRO_CACHE"
+SALT_ENV = "REPRO_CACHE_SALT"
+
+#: bump to invalidate every existing cache file regardless of source state
+_FORMAT = 1
+
+_OFF_VALUES = ("0", "off", "no", "false")
+
+
+def _source_digest() -> str:
+    """SHA-256 over the package's own source files (path + content)."""
+    import repro
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            h.update(rel.encode("utf-8"))
+            try:
+                with open(os.path.join(dirpath, name), "rb") as fh:
+                    h.update(fh.read())
+            except OSError:
+                continue
+    return h.hexdigest()
+
+
+_source_digest_memo: Optional[str] = None
+
+
+def code_salt() -> str:
+    """The code-version salt mixed into every cache key.
+
+    ``REPRO_CACHE_SALT`` overrides it (used by tests to exercise
+    invalidation); otherwise it is a digest of the installed source tree,
+    computed once per process.
+    """
+    env = os.environ.get(SALT_ENV)
+    if env:
+        return env
+    global _source_digest_memo
+    if _source_digest_memo is None:
+        _source_digest_memo = _source_digest()[:16]
+    return f"v{_FORMAT}-{_source_digest_memo}"
+
+
+@dataclass
+class CacheStats:
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Memory + disk result cache, keyed by ``RunSpec.key(salt)``."""
+
+    def __init__(self, root: Optional[str] = None,
+                 salt: Optional[str] = None):
+        if root is None:
+            root = os.environ.get(DIR_ENV) or DEFAULT_DIR
+        self.root = root
+        self._salt = salt
+        self._memory: dict = {}
+        self.stats = CacheStats()
+
+    @property
+    def salt(self) -> str:
+        return self._salt if self._salt is not None else code_salt()
+
+    def disk_enabled(self) -> bool:
+        return os.environ.get(DISABLE_ENV, "1").lower() not in _OFF_VALUES
+
+    def key_for(self, spec: "RunSpec") -> str:
+        return spec.key(self.salt)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # -- lookup / store -----------------------------------------------------
+
+    def get(self, spec: "RunSpec") -> Tuple[Optional["RunResult"], str]:
+        """Return ``(copy_of_result, source)``; source is ``"memory"``,
+        ``"disk"`` or ``"miss"`` (with a ``None`` result)."""
+        key = self.key_for(spec)
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.memory_hits += 1
+            return deepcopy(hit), "memory"
+        if self.disk_enabled():
+            try:
+                with open(self.path_for(key), "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError):
+                pass          # missing or unreadable: treat as a miss
+            else:
+                self._memory[key] = result
+                self.stats.disk_hits += 1
+                return deepcopy(result), "disk"
+        self.stats.misses += 1
+        return None, "miss"
+
+    def put(self, spec: "RunSpec", result: "RunResult") -> None:
+        key = self.key_for(spec)
+        self._memory[key] = deepcopy(result)
+        self.stats.stores += 1
+        if not self.disk_enabled():
+            return
+        path = self.path_for(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(self._memory[key], fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)     # atomic: readers never see partials
+        except OSError:
+            pass                      # best-effort persistence
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+    def clear_disk(self) -> int:
+        """Delete every cached result file; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith((".pkl", ".tmp")):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(n_files, total_bytes)`` of the persisted layer."""
+        files = size = 0
+        if not os.path.isdir(self.root):
+            return 0, 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".pkl"):
+                    files += 1
+                    try:
+                        size += os.path.getsize(os.path.join(dirpath, name))
+                    except OSError:
+                        pass
+        return files, size

@@ -1,0 +1,242 @@
+"""Batch execution: fan independent runs across cores, cache everything.
+
+:func:`run_many` is the substrate the figure benches, the sweep utility
+and the CLI route through.  Independent ``RunSpec``s are deduplicated,
+looked up in the shared :class:`~repro.exec.cache.ResultCache`, and the
+misses executed — serially, or across a process pool when ``jobs > 1``.
+Results come back in input order regardless of completion order, and a
+failed run reports its spec and traceback in its :class:`RunOutcome`
+instead of poisoning the rest of the batch (a worker process that dies
+outright is retried in-process).
+
+``REPRO_JOBS`` sets the default fan-out (``0`` means one worker per
+core); unset it defaults to 1, keeping unit tests and casual callers on
+the bit-identical serial path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
+
+from repro.exec.cache import ResultCache
+from repro.exec.specs import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import RunResult
+
+JOBS_ENV = "REPRO_JOBS"
+
+#: simulations actually executed by this process (cache hits excluded);
+#: tests assert on this to prove a batch was served entirely from cache
+counters = {"executed": 0}
+
+
+def reset_counters() -> None:
+    counters["executed"] = 0
+
+
+def default_jobs() -> int:
+    """Fan-out from ``REPRO_JOBS``: unset -> 1 (serial), 0 -> one per core."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        n = int(raw)
+    except ValueError:
+        return 1
+    if n <= 0:
+        return os.cpu_count() or 1
+    return n
+
+
+# -- the shared cache singleton ----------------------------------------------
+
+_shared_cache: Optional[ResultCache] = None
+
+
+def shared_cache() -> ResultCache:
+    global _shared_cache
+    if _shared_cache is None:
+        _shared_cache = ResultCache()
+    return _shared_cache
+
+
+def set_shared_cache(cache: Optional[ResultCache]) -> Optional[ResultCache]:
+    """Swap the process-wide cache (tests, CLI ``--cache-dir``);
+    returns the previous one."""
+    global _shared_cache
+    old = _shared_cache
+    _shared_cache = cache
+    return old
+
+
+def clear_caches(disk: bool = False) -> None:
+    """Drop the memory layer; ``disk=True`` also wipes persisted results."""
+    c = shared_cache()
+    c.clear_memory()
+    if disk:
+        c.clear_disk()
+
+
+# -- outcomes ----------------------------------------------------------------
+
+@dataclass
+class RunOutcome:
+    """One batch slot: either a result or the failure that replaced it."""
+
+    spec: RunSpec
+    result: Optional["RunResult"]
+    error: Optional[str] = None        # formatted traceback on failure
+    elapsed: float = 0.0               # wall seconds (0 for cache hits)
+    source: str = "run"                # "run" | "memory" | "disk" | "error"
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BatchError(RuntimeError):
+    """Raised by ``run_many(strict=True)`` when any spec failed."""
+
+    def __init__(self, outcomes: List[RunOutcome]):
+        self.failures = [o for o in outcomes if not o.ok]
+        labels = ", ".join(o.spec.label for o in self.failures)
+        first = self.failures[0].error or ""
+        super().__init__(
+            f"{len(self.failures)} run(s) failed: {labels}\n{first}")
+
+
+# -- execution ---------------------------------------------------------------
+
+def _pool_worker(spec: RunSpec):
+    """Top-level so it pickles; never raises (errors travel as data)."""
+    t0 = time.perf_counter()
+    try:
+        return True, spec.run(), time.perf_counter() - t0
+    except Exception:
+        return False, traceback.format_exc(), time.perf_counter() - t0
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cached(spec: RunSpec,
+               cache: Optional[ResultCache] = None) -> "RunResult":
+    """One spec through the cache; executes (and stores) on a miss.
+
+    Always returns a defensive copy — mutating it cannot corrupt what
+    later callers receive.
+    """
+    cache = cache or shared_cache()
+    hit, _source = cache.get(spec)
+    if hit is not None:
+        return hit
+    counters["executed"] += 1
+    result = spec.run()
+    cache.put(spec, result)           # put() stores its own deep copy
+    return result
+
+
+Progress = Callable[[RunOutcome, int, int], None]
+
+
+def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
+             cache: Optional[ResultCache] = None,
+             progress: Optional[Progress] = None,
+             strict: bool = False) -> List[RunOutcome]:
+    """Run a batch of independent specs; outcomes align with input order.
+
+    Identical specs are executed once.  Cache hits (memory or disk) skip
+    execution entirely.  ``jobs=None`` takes :func:`default_jobs`;
+    ``jobs > 1`` fans misses across a process pool.  With
+    ``strict=True`` a :class:`BatchError` is raised if any spec failed;
+    otherwise failures are reported per-outcome.
+    """
+    specs = list(specs)
+    cache = cache or shared_cache()
+    jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    total = len(specs)
+    outcomes: List[Optional[RunOutcome]] = [None] * total
+    todo: dict = {}                    # unique key -> input indices
+    order: List[tuple] = []            # (key, spec) in first-seen order
+
+    def report(out: RunOutcome, i: int) -> None:
+        if progress is not None:
+            progress(out, i, total)
+
+    for i, spec in enumerate(specs):
+        hit, source = cache.get(spec)
+        if hit is not None:
+            outcomes[i] = RunOutcome(spec, hit, source=source)
+            report(outcomes[i], i)
+            continue
+        key = cache.key_for(spec)
+        if key not in todo:
+            todo[key] = []
+            order.append((key, spec))
+        todo[key].append(i)
+
+    def finish(key: str, spec: RunSpec, ok: bool, payload,
+               elapsed: float) -> None:
+        if ok:
+            cache.put(spec, payload)
+            indices = todo[key]
+            for j, i in enumerate(indices):
+                # first slot takes the freshly-computed object (already
+                # independent of the cached copy); duplicates get copies
+                res = payload if j == 0 else cache.get(spec)[0]
+                outcomes[i] = RunOutcome(spec, res, elapsed=elapsed,
+                                         source="run")
+                report(outcomes[i], i)
+        else:
+            for i in todo[key]:
+                outcomes[i] = RunOutcome(spec, None, error=payload,
+                                         elapsed=elapsed, source="error")
+                report(outcomes[i], i)
+
+    def run_serial(key: str, spec: RunSpec) -> None:
+        t0 = time.perf_counter()
+        counters["executed"] += 1
+        try:
+            result = spec.run()
+        except Exception:
+            finish(key, spec, False, traceback.format_exc(),
+                   time.perf_counter() - t0)
+        else:
+            finish(key, spec, True, result, time.perf_counter() - t0)
+
+    if jobs <= 1 or len(order) <= 1:
+        for key, spec in order:
+            run_serial(key, spec)
+    else:
+        ctx = _mp_context()
+        with cf.ProcessPoolExecutor(max_workers=min(jobs, len(order)),
+                                    mp_context=ctx) as pool:
+            futures = {}
+            for key, spec in order:
+                counters["executed"] += 1
+                futures[pool.submit(_pool_worker, spec)] = (key, spec)
+            for fut in cf.as_completed(futures):
+                key, spec = futures[fut]
+                if fut.exception() is not None:
+                    # the worker process died (BrokenProcessPool etc.):
+                    # retry in-process so one crash doesn't sink the batch
+                    counters["executed"] -= 1
+                    run_serial(key, spec)
+                else:
+                    ok, payload, elapsed = fut.result()
+                    finish(key, spec, ok, payload, elapsed)
+
+    done: List[RunOutcome] = [o for o in outcomes if o is not None]
+    assert len(done) == total, "executor lost a batch slot"
+    if strict and any(not o.ok for o in done):
+        raise BatchError(done)
+    return done

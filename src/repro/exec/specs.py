@@ -1,0 +1,97 @@
+"""Run specifications: picklable, stably-hashable descriptions of one run.
+
+A :class:`RunSpec` names everything that determines a simulation's
+outcome — mix, policy, scaling preset, seed, and (optionally) an explicit
+:class:`~repro.config.SystemConfig` — without holding any live simulation
+state, so specs can cross process boundaries and serve as cache keys.
+
+The cache key is a SHA-256 over a canonical rendering of the spec plus a
+*salt* (see :func:`repro.exec.cache.code_salt`): the salt folds the
+package's source tree into the key, so any code change invalidates every
+persisted result automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.config import SystemConfig, default_config
+from repro.mixes import Mix, mix as mix_by_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import RunResult
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: ``(mix, policy, scale, seed[, cfg])``.
+
+    ``mix`` may be a Table III name (``"M7"``) or an explicit
+    :class:`Mix` (standalone runs use ad-hoc single-app mixes).  When
+    ``cfg`` is ``None`` the default Table I machine at ``scale`` is
+    used, with ``n_cpus`` taken from the mix.
+    """
+
+    mix: Union[Mix, str]
+    policy: str = "baseline"
+    scale: str = "test"
+    seed: int = 1
+    cfg: Optional[SystemConfig] = None
+
+    def resolved_mix(self) -> Mix:
+        if isinstance(self.mix, str):
+            return mix_by_name(self.mix)
+        return self.mix
+
+    def resolved_cfg(self) -> SystemConfig:
+        if self.cfg is not None:
+            return self.cfg
+        return default_config(scale=self.scale,
+                              n_cpus=self.resolved_mix().n_cpus,
+                              seed=self.seed)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name for progress reporting."""
+        return (f"{self.resolved_mix().name}/{self.policy}"
+                f"@{self.scale}#{self.seed}")
+
+    def key(self, salt: str) -> str:
+        """Stable content hash of everything that determines the result."""
+        m = self.resolved_mix()
+        cfg = self.resolved_cfg()
+        canon = "\x1f".join([
+            salt, m.name, repr(m.gpu_app), repr(m.cpu_apps),
+            self.policy, self.scale, str(self.seed), repr(cfg),
+        ])
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def run(self) -> "RunResult":
+        """Execute the simulation in-process (no caching)."""
+        from repro.sim.runner import run_system
+        return run_system(self.resolved_cfg(), self.resolved_mix(),
+                          self.policy)
+
+
+# -- spec builders for the standard run shapes -------------------------------
+
+def mix_spec(mix_name: str, policy: str = "baseline", scale: str = "test",
+             seed: int = 1) -> RunSpec:
+    """One Table III mix under one policy (the heterogeneous run)."""
+    return RunSpec(mix=mix_name, policy=policy, scale=scale, seed=seed)
+
+
+def standalone_cpu_spec(spec_id: int, scale: str = "test",
+                        seed: int = 1) -> RunSpec:
+    """One CPU application alone on the machine (no GPU)."""
+    m = Mix(f"alone-{spec_id}", None, (spec_id,))
+    return RunSpec(mix=m, policy="baseline", scale=scale, seed=seed)
+
+
+def standalone_gpu_spec(game: str, scale: str = "test",
+                        seed: int = 1) -> RunSpec:
+    """One GPU application alone on the machine (no CPU work)."""
+    m = Mix(f"alone-{game}", game, ())
+    return RunSpec(mix=m, policy="baseline", scale=scale, seed=seed)

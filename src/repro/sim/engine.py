@@ -69,7 +69,11 @@ class Simulator:
             max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` ticks, or ``max_events``.
 
-        Returns the number of events executed.
+        When ``until`` is given the clock always reaches it unless the
+        run was cut short by ``stop()`` or ``max_events`` — even if the
+        queue drains earlier — so consecutive ``run(until=...)`` calls
+        observe a consistent clock.  Returns the number of events
+        executed.
         """
         queue = self._queue
         executed = 0
@@ -89,4 +93,8 @@ class Simulator:
                 break
             if max_events is not None and executed >= max_events:
                 break
+        if (until is not None and not queue and not self._stop
+                and self.now < until):
+            # queue drained before the horizon: advance the clock to it
+            self.now = int(until)
         return executed

@@ -1,15 +1,20 @@
 """Experiment orchestration: standalone and heterogeneous runs.
 
-Standalone results (per-app IPC, per-game FPS) are memoised per
-``(scale, seed)`` in-process, because every figure normalises against
-them — Fig. 1 alone needs 28 standalone runs plus 14 heterogeneous ones.
+Standalone results (per-app IPC, per-game FPS) are cached per
+``(scale, seed)`` through :mod:`repro.exec` — an in-process memory layer
+plus the persistent on-disk cache under ``.repro_cache/`` — because
+every figure normalises against them: Fig. 1 alone needs 28 standalone
+runs plus 14 heterogeneous ones.  Cached results come back as defensive
+copies, so one figure's post-processing can never corrupt another
+figure's normalisation baseline.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.config import SystemConfig, default_config
+from repro.exec import (run_cached, standalone_cpu_spec,
+                        standalone_gpu_spec)
+from repro.exec import clear_caches as _clear_exec_caches
 from repro.mixes import Mix, mix as mix_by_name
 from repro.policies import make_policy
 from repro.policies.base import Policy
@@ -35,24 +40,18 @@ def run_mix(mix_name: str, policy: str = "baseline", scale: str = "test",
     return run_system(cfg, m, policy)
 
 
-# -- standalone runs (memoised) ---------------------------------------------
+# -- standalone runs (cached via repro.exec) --------------------------------
 
-@lru_cache(maxsize=None)
 def standalone_cpu(spec_id: int, scale: str = "test",
                    seed: int = 1) -> RunResult:
     """One CPU application alone on the machine (no GPU)."""
-    m = Mix(f"alone-{spec_id}", None, (spec_id,))
-    cfg = default_config(scale=scale, n_cpus=1, seed=seed)
-    return run_system(cfg, m, "baseline")
+    return run_cached(standalone_cpu_spec(spec_id, scale, seed))
 
 
-@lru_cache(maxsize=None)
 def standalone_gpu(game: str, scale: str = "test",
                    seed: int = 1) -> RunResult:
     """One GPU application alone on the machine (no CPU work)."""
-    m = Mix(f"alone-{game}", game, ())
-    cfg = default_config(scale=scale, n_cpus=0, seed=seed)
-    return run_system(cfg, m, "baseline")
+    return run_cached(standalone_gpu_spec(game, scale, seed))
 
 
 def alone_ipcs(spec_ids, scale: str = "test",
@@ -72,5 +71,5 @@ def weighted_speedup_for(result: RunResult, scale: str = "test",
 
 
 def clear_caches() -> None:
-    standalone_cpu.cache_clear()
-    standalone_gpu.cache_clear()
+    """Drop the in-process result cache (the disk layer persists)."""
+    _clear_exec_caches()

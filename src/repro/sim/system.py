@@ -158,7 +158,13 @@ class HeterogeneousSystem:
             gpu_ok = (self.gpu.frames_completed >= self.cfg.scale.min_frames
                       or self.gpu.stopped)
         else:
-            gpu_ok = self.gpu.stopped     # standalone GPU: render them all
+            # standalone GPU: render them all.  The pipeline flags
+            # ``stopped`` only after the last frame's callback returns,
+            # so also count completed frames — otherwise the run ends by
+            # queue drain and the clock (RunResult.ticks) advances to
+            # the safety cap instead of the last frame's end time.
+            gpu_ok = (self.gpu.stopped or
+                      self.gpu.frames_completed >= self.cfg.scale.max_frames)
         if cores_ok and gpu_ok:
             self._stopped = True
             if self.gpu is not None:

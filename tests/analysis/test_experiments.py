@@ -19,9 +19,13 @@ def _fresh_caches():
 
 
 def test_hetero_is_memoised():
+    from repro.exec import counters
     a = experiments.hetero("W8", "baseline", "smoke")
+    n = counters["executed"]
     b = experiments.hetero("W8", "baseline", "smoke")
-    assert a is b
+    assert counters["executed"] == n      # second call served from cache
+    assert a == b
+    assert a is not b                     # callers get private copies
 
 
 def test_fig1_structure():
@@ -60,12 +64,12 @@ def test_fig9_structure():
 
 
 def test_fig10_11_share_runs_with_fig9():
+    from repro.exec import counters
     name = HIGH_FPS_MIXES[0]
-    before = experiments.hetero.cache_info().misses
+    before = counters["executed"]
     experiments.fig10("smoke", mixes=[name])
     experiments.fig11("smoke", mixes=[name])
-    after = experiments.hetero.cache_info().misses
-    assert after == before        # everything came from the cache
+    assert counters["executed"] == before  # everything came from the cache
 
 
 def test_fig13_14_low_fps_mixes():

@@ -1,0 +1,15 @@
+"""Suite-wide fixtures.
+
+The persistent result cache is pointed at a per-session temporary
+directory so test runs neither litter the repo with ``.repro_cache/``
+nor observe results persisted by earlier (possibly different) checkouts.
+Individual tests that exercise the disk layer construct their own
+:class:`repro.exec.ResultCache` on a ``tmp_path``.
+"""
+
+import os
+import tempfile
+
+if "REPRO_CACHE_DIR" not in os.environ:
+    os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(
+        prefix="repro-cache-tests-")

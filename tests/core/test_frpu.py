@@ -140,6 +140,48 @@ def test_error_log_records_mid_frame_predictions():
     assert f.mean_abs_percent_error() == pytest.approx(0.0, abs=1e-6)
 
 
+def test_refresh_survives_frame_with_no_rtps():
+    """Regression: an empty frame must not divide by zero in _refresh."""
+    f = FrameRatePredictor()
+    learn(f)
+    f._refresh(frame(2, n_rtp=0))        # no ZeroDivisionError
+    assert f.learned.c_avg >= 0
+
+
+def test_mid_frame_predictions_are_bounded():
+    """Regression: abandoned mid-frame predictions must not accumulate."""
+    f = FrameRatePredictor()
+    learn(f)
+    recs = [RtpRecord(50, 1000, 50, 2000, 0)] * 2
+    for idx in range(2, 100):
+        f.predict_frame_cycles(StubPipeline(0.5, recs, frame_idx=idx))
+    assert len(f._mid_frame_prediction) <= f.MID_FRAME_BOUND
+
+
+def test_mid_frame_predictions_cleared_on_learning_reset():
+    f = FrameRatePredictor()
+    learn(f)
+    recs = [RtpRecord(50, 1000, 50, 2000, 0)] * 2
+    f.predict_frame_cycles(StubPipeline(0.5, recs, frame_idx=2))
+    assert f._mid_frame_prediction
+    f.on_frame_complete(frame(2, updates=500))   # verify fails: reset
+    assert f.phase is Phase.LEARNING
+    assert not f._mid_frame_prediction
+
+
+def test_stale_mid_frame_predictions_pruned_on_completion():
+    """A prediction for a frame that never completed is dropped when a
+    later frame does, and contributes nothing to the error log."""
+    f = FrameRatePredictor()
+    learn(f)
+    recs = [RtpRecord(50, 1000, 50, 2000, 0)] * 2
+    f.predict_frame_cycles(StubPipeline(0.5, recs, frame_idx=2))
+    f.predict_frame_cycles(StubPipeline(0.5, recs, frame_idx=3))
+    f.on_frame_complete(frame(3))
+    assert not f._mid_frame_prediction   # 3 consumed, stale 2 pruned
+    assert [i for i, _p, _a in f.error_log] == [3]
+
+
 def test_phase_transitions_recorded():
     f = FrameRatePredictor()
     learn(f)

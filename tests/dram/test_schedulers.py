@@ -118,6 +118,44 @@ def test_sms_zero_sjf_alternates_classes():
     assert {"gpu", "cpu"} <= set(done[:5])
 
 
+def test_sms_head_of_line_falls_through_to_ready_batch():
+    """Regression: when the current batch's head targets a busy bank,
+    SMS must serve the oldest released batch whose head bank is idle
+    instead of stalling the whole channel."""
+    from types import SimpleNamespace
+    from repro.dram.schedulers import _Batch
+
+    banks = {0: SimpleNamespace(ready_at=100),   # busy until t=100
+             1: SimpleNamespace(ready_at=0)}     # idle
+    ctrl = SimpleNamespace(sim=SimpleNamespace(now=0), banks=banks)
+
+    sms = SmsScheduler()
+    cur = _Batch("gpu", opened_at=0)
+    cur_entry = SimpleNamespace(bank=0, is_write=False)
+    cur.entries = [cur_entry]
+    sms._current = cur
+
+    blocked = _Batch("cpu0", opened_at=1)
+    blocked.entries = [SimpleNamespace(bank=0, is_write=False)]
+    ready = _Batch("cpu1", opened_at=2)
+    ready_entry = SimpleNamespace(bank=1, is_write=False)
+    ready.entries = [ready_entry]
+    sms._ready = [blocked, ready]
+
+    picked = sms.select(ctrl, [])
+    assert picked is ready_entry          # bypassed the blocked head
+    assert ready not in sms._ready        # emptied batch is retired
+    assert sms._current is cur            # current batch keeps its slot
+    assert cur.entries == [cur_entry]
+
+    # every serviceable head blocked: nothing to issue this cycle
+    assert sms.select(ctrl, []) is None
+
+    # once the bank frees up, the current batch resumes in order
+    banks[0].ready_at = 0
+    assert sms.select(ctrl, []) is cur_entry
+
+
 def test_starvation_guard_in_boost_mode():
     """Even with the boost, ancient GPU requests eventually get served."""
     sim = Simulator()

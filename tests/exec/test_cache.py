@@ -1,0 +1,94 @@
+"""Unit tests for the persistent result cache (no simulations)."""
+
+import os
+import pickle
+
+from repro.exec import ResultCache, mix_spec
+from repro.sim.metrics import RunResult
+
+
+def fake_result(fps=50.0) -> RunResult:
+    return RunResult(
+        mix_name="M7", policy_name="baseline", scale_name="smoke",
+        ticks=1000, cpu_apps=(410,), cpu_ipcs={0: 1.0}, gpu_app="DOOM3",
+        fps=fps, frames_rendered=3, frame_cycles=[100, 100, 100],
+        llc={"cpu_misses": 5}, dram={}, dram_gpu_read_bytes=0,
+        dram_gpu_write_bytes=0, dram_cpu_read_bytes=0,
+        dram_cpu_write_bytes=0, dram_row_hit_rate=0.5)
+
+
+SPEC = mix_spec("M7", "baseline", "smoke", 1)
+
+
+def test_roundtrip_and_sources(tmp_path):
+    c = ResultCache(root=str(tmp_path), salt="s")
+    assert c.get(SPEC) == (None, "miss")
+    c.put(SPEC, fake_result())
+    got, source = c.get(SPEC)
+    assert source == "memory"
+    assert got == fake_result()
+    # a fresh cache over the same directory reads the disk layer
+    c2 = ResultCache(root=str(tmp_path), salt="s")
+    got2, source2 = c2.get(SPEC)
+    assert source2 == "disk"
+    assert got2 == fake_result()
+    assert c.stats.misses == 1 and c.stats.memory_hits == 1
+    assert c2.stats.disk_hits == 1
+
+
+def test_returns_defensive_copies(tmp_path):
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    a, _ = c.get(SPEC)
+    a.cpu_ipcs[0] = -99.0
+    a.frame_cycles.append(1)
+    b, _ = c.get(SPEC)
+    assert b == fake_result()       # mutation did not reach the cache
+    # the stored object is also insulated from the caller's original
+    original = fake_result()
+    c.put(mix_spec("M8", "baseline", "smoke", 1), original)
+    original.llc["cpu_misses"] = 0
+    got, _ = c.get(mix_spec("M8", "baseline", "smoke", 1))
+    assert got.llc["cpu_misses"] == 5
+
+
+def test_salt_invalidates(tmp_path):
+    ResultCache(root=str(tmp_path), salt="a").put(SPEC, fake_result())
+    stale = ResultCache(root=str(tmp_path), salt="b")
+    assert stale.get(SPEC) == (None, "miss")
+
+
+def test_corrupt_file_is_a_miss(tmp_path):
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    path = c.path_for(c.key_for(SPEC))
+    with open(path, "wb") as fh:
+        fh.write(b"not a pickle")
+    fresh = ResultCache(root=str(tmp_path), salt="s")
+    assert fresh.get(SPEC) == (None, "miss")
+    # truncated pickles are misses too
+    with open(path, "wb") as fh:
+        fh.write(pickle.dumps(fake_result())[:10])
+    fresh2 = ResultCache(root=str(tmp_path), salt="s")
+    assert fresh2.get(SPEC) == (None, "miss")
+
+
+def test_clear_disk_and_usage(tmp_path):
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    c.put(mix_spec("M8", "baseline", "smoke", 1), fake_result())
+    files, size = c.disk_usage()
+    assert files == 2 and size > 0
+    assert c.clear_disk() == 2
+    assert c.disk_usage() == (0, 0)
+    c.clear_memory()
+    assert c.get(SPEC) == (None, "miss")
+
+
+def test_disk_layer_can_be_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    assert not os.listdir(tmp_path)          # nothing persisted
+    got, source = c.get(SPEC)                # memory layer still works
+    assert source == "memory" and got == fake_result()

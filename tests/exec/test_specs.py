@@ -1,0 +1,47 @@
+"""Unit tests for run specifications and their cache keys."""
+
+from dataclasses import replace
+
+from repro.config import default_config
+from repro.exec import (RunSpec, mix_spec, standalone_cpu_spec,
+                        standalone_gpu_spec)
+
+
+def test_key_is_stable_and_discriminating():
+    a = mix_spec("M7", "baseline", "smoke", 1)
+    b = mix_spec("M7", "baseline", "smoke", 1)
+    assert a.key("s") == b.key("s")
+    assert a.key("s") != a.key("other-salt")
+    assert a.key("s") != mix_spec("M7", "throttle", "smoke", 1).key("s")
+    assert a.key("s") != mix_spec("M7", "baseline", "smoke", 2).key("s")
+    assert a.key("s") != mix_spec("M7", "baseline", "test", 1).key("s")
+    assert a.key("s") != mix_spec("M8", "baseline", "smoke", 1).key("s")
+
+
+def test_explicit_cfg_changes_key():
+    base = mix_spec("M7", "baseline", "smoke", 1)
+    cfg = default_config("smoke", n_cpus=4)
+    tweaked = RunSpec(mix="M7", policy="baseline", scale="smoke", seed=1,
+                      cfg=replace(cfg, qos=replace(cfg.qos,
+                                                   target_fps=55.0)))
+    assert base.key("s") != tweaked.key("s")
+    # an explicit cfg identical to the derived default keys identically
+    same = RunSpec(mix="M7", policy="baseline", scale="smoke", seed=1,
+                   cfg=cfg)
+    assert base.key("s") == same.key("s")
+
+
+def test_standalone_specs_resolve_shapes():
+    c = standalone_cpu_spec(403, "smoke", 1)
+    assert c.resolved_mix().cpu_apps == (403,)
+    assert c.resolved_mix().gpu_app is None
+    assert c.resolved_cfg().n_cpus == 1
+    g = standalone_gpu_spec("NFS", "smoke", 1)
+    assert g.resolved_mix().gpu_app == "NFS"
+    assert g.resolved_cfg().n_cpus == 0
+    assert c.key("s") != g.key("s")
+
+
+def test_label_is_human_readable():
+    assert mix_spec("M7", "throttle", "smoke", 3).label == \
+        "M7/throttle@smoke#3"

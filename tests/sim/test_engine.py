@@ -75,11 +75,36 @@ def test_run_until_pauses_and_resumes():
     assert log == [5, 15]
 
 
-def test_run_until_does_not_advance_past_queue_drain():
+def test_run_until_advances_clock_on_queue_drain():
+    """Regression: ``run(until=N)`` must leave ``now == N`` even when the
+    event queue drains early, so wall-clock-derived metrics (ticks, FPS)
+    see the full simulated horizon rather than the last event time."""
     sim = Simulator()
     sim.at(3, lambda: None)
     sim.run(until=1_000_000)
+    assert sim.now == 1_000_000
+    # idempotent: re-running to the same horizon does not move the clock
+    sim.run(until=1_000_000)
+    assert sim.now == 1_000_000
+    # and a later horizon with an empty queue still advances
+    sim.run(until=2_000_000)
+    assert sim.now == 2_000_000
+
+
+def test_stop_does_not_advance_to_until():
+    sim = Simulator()
+    sim.at(1, lambda: sim.stop())
+    sim.run(until=1_000_000)
+    assert sim.now == 1
+
+
+def test_max_events_does_not_advance_to_until():
+    sim = Simulator()
+    for i in range(10):
+        sim.at(i, lambda: None)
+    sim.run(until=1_000_000, max_events=4)
     assert sim.now == 3
+    assert sim.pending() == 6
 
 
 def test_stop_exits_immediately():

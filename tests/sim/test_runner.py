@@ -14,16 +14,29 @@ def _fresh():
 
 
 def test_standalone_cpu_memoised():
+    from repro.exec import counters
     a = runner.standalone_cpu(403, "smoke")
+    n = counters["executed"]
     b = runner.standalone_cpu(403, "smoke")
-    assert a is b
-    c = runner.standalone_cpu(403, "smoke", seed=2)
-    assert c is not a
+    assert counters["executed"] == n          # second call is a cache hit
+    assert a == b
+    assert a is not b                         # callers get private copies
+
+
+def test_standalone_cpu_cache_is_mutation_safe():
+    a = runner.standalone_cpu(403, "smoke")
+    ipc = a.cpu_ipcs[0]
+    a.cpu_ipcs[0] = -1.0                      # corrupt the caller's copy
+    b = runner.standalone_cpu(403, "smoke")
+    assert b.cpu_ipcs[0] == ipc               # cache stayed pristine
 
 
 def test_standalone_gpu_memoised():
+    from repro.exec import counters
     a = runner.standalone_gpu("NFS", "smoke")
-    assert a is runner.standalone_gpu("NFS", "smoke")
+    n = counters["executed"]
+    assert a == runner.standalone_gpu("NFS", "smoke")
+    assert counters["executed"] == n
     assert a.gpu_app == "NFS"
     assert a.cpu_apps == ()
 

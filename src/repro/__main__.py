@@ -58,6 +58,14 @@ def _print_result(r, scale: str) -> None:
 
 def cmd_run(args) -> int:
     t0 = time.time()
+    if args.profile:
+        from repro.prof import profile_mix
+        r, prof = profile_mix(args.mix, args.policy, scale=args.scale,
+                              seed=args.seed)
+        _print_result(r, args.scale)
+        print(f"  wall time: {time.time()-t0:.1f}s")
+        print(prof.report())
+        return 0
     r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed)
     _print_result(r, args.scale)
     print(f"  wall time: {time.time()-t0:.1f}s")
@@ -65,18 +73,26 @@ def cmd_run(args) -> int:
 
 
 def cmd_standalone(args) -> int:
+    if not args.game and not args.spec:
+        print("need --game or --spec", file=sys.stderr)
+        return 2
+    if args.profile:
+        from repro.prof import profile_standalone
+        r, prof = profile_standalone(game=args.game, spec=args.spec,
+                                     scale=args.scale, seed=args.seed)
+    else:
+        prof = None
+        r = standalone_gpu(args.game, args.scale, args.seed) if args.game \
+            else standalone_cpu(args.spec, args.scale, args.seed)
     if args.game:
-        r = standalone_gpu(args.game, args.scale, args.seed)
         w = workload_for(args.game)
         print(f"{args.game}: {r.fps:.1f} FPS measured "
               f"(Table II: {w.fps_nominal})")
-    elif args.spec:
-        r = standalone_cpu(args.spec, args.scale, args.seed)
+    else:
         print(f"SPEC {args.spec}: IPC {r.cpu_ipcs[0]:.3f}, "
               f"LLC accesses {r.llc['cpu_accesses']:,}")
-    else:
-        print("need --game or --spec", file=sys.stderr)
-        return 2
+    if prof is not None:
+        print(prof.report())
     return 0
 
 
@@ -192,11 +208,16 @@ def main(argv=None) -> int:
     p = sub.add_parser("run", help="run one mix under one policy")
     p.add_argument("--mix", default="M7")
     p.add_argument("--policy", default="throtcpuprio")
+    p.add_argument("--profile", action="store_true",
+                   help="profile the event kernel (per-owner event "
+                        "counts + wall-time breakdown; bypasses cache)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("standalone", help="run one app alone")
     p.add_argument("--game")
     p.add_argument("--spec", type=int)
+    p.add_argument("--profile", action="store_true",
+                   help="profile the event kernel (bypasses cache)")
     p.set_defaults(fn=cmd_standalone)
 
     p = sub.add_parser("compare", help="compare policies on one mix")

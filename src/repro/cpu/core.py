@@ -306,7 +306,7 @@ class CpuCore:
 
     def _send(self, req: MemRequest) -> None:
         when = max(int(self._time), self.sim.now)
-        self.sim.at(when, lambda: self.llc_send(req))
+        self.sim.at_call(when, self.llc_send, req)
 
     # -- fills, evictions, inclusion ---------------------------------------
 

@@ -20,6 +20,10 @@ from repro.mem.request import MemRequest
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatSet
 
+#: closure-free completion: ``at_call(t, _COMPLETE, req)`` avoids
+#: allocating a ``req.complete`` bound method per served transaction
+_COMPLETE = MemRequest.complete
+
 
 class PendingReq:
     """One queued DRAM transaction (line granularity)."""
@@ -236,9 +240,9 @@ class MemoryController:
         self._served[(side, entry.is_write)].inc()
         if not entry.is_write:
             self._lat[side].add(done - entry.arrival)
-            self.sim.at(done, entry.req.complete)
+            self.sim.at_call(done, _COMPLETE, entry.req)
         elif entry.req.on_done is not None:
-            self.sim.at(done, entry.req.complete)
+            self.sim.at_call(done, _COMPLETE, entry.req)
 
     # -- stats helpers ----------------------------------------------------
 

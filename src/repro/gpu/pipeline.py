@@ -318,7 +318,7 @@ class GpuPipeline:
                          on_done=self._fill_done if not write else None,
                          created_at=int(self._time))
         when = max(int(self._time), self.sim.now)
-        self.sim.at(when, lambda: self.llc_send(req))
+        self.sim.at_call(when, self.llc_send, req)
 
     def _count_llc(self, write: bool, kind: str) -> None:
         self._c_llc.inc()
@@ -342,8 +342,8 @@ class GpuPipeline:
             retry = MemRequest(addr, False, "gpu", kind,
                                on_done=self._fill_done,
                                created_at=int(self._time))
-            self.sim.at(max(int(self._time), self.sim.now),
-                        lambda: self.llc_send(retry))
+            self.sim.at_call(max(int(self._time), self.sim.now),
+                             self.llc_send, retry)
             self._schedule_at_time()
         elif self._stall == "drain" and self.outstanding == 0:
             self._stall = None

@@ -8,6 +8,7 @@ dict operations — the key to simulating millions of accesses in Python.
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 from repro.config import CacheConfig
@@ -23,8 +24,12 @@ class Line:
     def __init__(self, tag: int, owner: str, kind: str = "data"):
         self.tag = tag
         self.dirty = False
-        self.owner = owner          # "cpu<i>" or "gpu" (LLC cares)
-        self.kind = kind            # GPU traffic class, for stats
+        # interned: owner/kind recur across millions of lines, and the
+        # occupancy/eviction bookkeeping hashes and compares them — with
+        # interned strings those dict operations hit the pointer-equality
+        # fast path
+        self.owner = sys.intern(owner)  # "cpu<i>" or "gpu" (LLC cares)
+        self.kind = sys.intern(kind)    # GPU traffic class, for stats
         self.repl = 0               # replacement-policy private field
         self.reused = False         # hit at least once after the fill
 

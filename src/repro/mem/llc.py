@@ -31,6 +31,11 @@ from repro.mem.request import MemRequest
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatSet
 
+#: scheduled closure-free as ``after_call(delay, _COMPLETE, req)`` —
+#: equivalent to ``after(delay, req.complete)`` without allocating a
+#: bound-method object per response
+_COMPLETE = MemRequest.complete
+
 
 class SharedLLC:
     def __init__(self, sim: Simulator, cfg: LlcConfig,
@@ -67,11 +72,18 @@ class SharedLLC:
         self._backinv = s.counter("back_invalidations")
         self._bypassed = s.counter("gpu_bypassed_fills")
         self._gpu_kind: dict[str, object] = {}
+        #: req.source -> interned "cpu"/"gpu", so the per-access side
+        #: split is one dict hit instead of a property + string compare
+        self._sides: dict[str, str] = {}
 
     # -- helpers -------------------------------------------------------
 
     def _side(self, req: MemRequest) -> str:
-        return "gpu" if req.is_gpu else "cpu"
+        src = req.source
+        side = self._sides.get(src)
+        if side is None:
+            side = self._sides[src] = "gpu" if src == "gpu" else "cpu"
+        return side
 
     def line_addr(self, addr: int) -> int:
         return addr & ~(self.cfg.line_bytes - 1)
@@ -101,7 +113,7 @@ class SharedLLC:
         if line is not None:
             self._hit[side].inc()
             delay = self.cfg.latency + self.response_delay(req)
-            self.sim.after(delay, req.complete)
+            self.sim.after_call(delay, _COMPLETE, req)
             return
         self._miss[side].inc()
         self._read_miss(req, addr)
@@ -126,9 +138,12 @@ class SharedLLC:
                                      kind=req.kind)
             if ev is not None:
                 self._handle_eviction(ev)
+        # response_delay is charged unconditionally: the ring counts the
+        # message (and, under the contention model, occupies a slot) even
+        # when the writeback carries no completion callback
         delay = self.cfg.latency + self.response_delay(req)
         if req.on_done is not None:
-            self.sim.after(delay, req.complete)
+            self.sim.after_call(delay, _COMPLETE, req)
 
     # -- read-miss path ----------------------------------------------------
 
@@ -149,11 +164,12 @@ class SharedLLC:
         if req.bypass:
             self._bypass_lines.add(addr)
         fill = MemRequest(addr, False, req.source, req.kind,
-                          on_done=lambda _f: self._fill_done(addr),
+                          on_done=self._fill_done,
                           created_at=self.sim.now)
-        self.sim.after(self.cfg.latency, lambda: self.dram_send(fill))
+        self.sim.after_call(self.cfg.latency, self.dram_send, fill)
 
-    def _fill_done(self, addr: int) -> None:
+    def _fill_done(self, fill: MemRequest) -> None:
+        addr = fill.addr              # fills are issued at line granularity
         waiters = self.mshr.complete(addr)
         bypass = addr in self._bypass_lines
         if bypass:
@@ -170,7 +186,7 @@ class SharedLLC:
         for req in waiters:
             delay = self.response_delay(req)
             if delay:
-                self.sim.after(delay, req.complete)
+                self.sim.after_call(delay, _COMPLETE, req)
             else:
                 req.complete()
         # MSHR slots freed: admit queued requests (already counted as
@@ -180,8 +196,9 @@ class SharedLLC:
             qaddr = self.line_addr(queued.addr)
             if self.cache.probe(qaddr) is not None:
                 # another fill satisfied it while it queued
-                self.sim.after(self.cfg.latency +
-                               self.response_delay(queued), queued.complete)
+                self.sim.after_call(self.cfg.latency +
+                                    self.response_delay(queued),
+                                    _COMPLETE, queued)
             else:
                 self._start_miss(queued, qaddr)
 

@@ -69,7 +69,7 @@ class CmBalPolicy(Policy):
         system.gpu.gate = self.gate
         self.warps = WarpOccupancyModel(system.gpu, system.cfg.gpu)
         interval = self.tick_gpu_cycles * GPU_CYCLE_TICKS
-        system.sim.after(interval, lambda: self._tick(interval))
+        system.sim.after_call(interval, self._tick, interval)
 
     def _tick(self, interval: int) -> None:
         gpu = self._system.gpu
@@ -83,4 +83,4 @@ class CmBalPolicy(Policy):
             elif rate < self.stall_lo and \
                     self.gate.level < self.gate.max_level:
                 self.gate.level += 1       # idle headroom: more warps
-        self._system.sim.after(interval, lambda: self._tick(interval))
+        self._system.sim.after_call(interval, self._tick, interval)

@@ -57,7 +57,7 @@ class DashPolicy(Policy):
         self._deadline = (system.cfg.scale.gpu_frame_cycles *
                           w.fps_nominal / self.target_fps)
         interval = self.tick_gpu_cycles * GPU_CYCLE_TICKS
-        system.sim.after(interval, lambda: self._tick(interval))
+        system.sim.after_call(interval, self._tick, interval)
 
     def _urgency(self) -> float:
         """>1: consuming budget faster than progress — deadline at risk."""
@@ -79,4 +79,4 @@ class DashPolicy(Policy):
         mode = "gpu_high" if self.urgent else "cpu_high"
         for s in self._schedulers:
             s.mode = mode
-        self._system.sim.after(interval, lambda: self._tick(interval))
+        self._system.sim.after_call(interval, self._tick, interval)

@@ -67,7 +67,7 @@ class DrpPolicy(Policy):
         system.llc.eviction_observer = self._on_eviction
         if system.gpu is not None:
             interval = self.decay_interval * GPU_CYCLE_TICKS
-            system.sim.after(interval, lambda: self._decay(interval))
+            system.sim.after_call(interval, self._decay, interval)
 
     # -- learning from the eviction stream ----------------------------------
 
@@ -101,4 +101,4 @@ class DrpPolicy(Policy):
             return
         for b in self.books.values():
             b.decay()
-        self._system.sim.after(interval, lambda: self._decay(interval))
+        self._system.sim.after_call(interval, self._decay, interval)

@@ -46,7 +46,7 @@ class DynPrioPolicy(Policy):
         self._deadline = (system.cfg.scale.gpu_frame_cycles *
                           w.fps_nominal / self.target_fps)
         interval = self.tick_gpu_cycles * GPU_CYCLE_TICKS
-        system.sim.after(interval, lambda: self._tick(interval))
+        system.sim.after_call(interval, self._tick, interval)
 
     def _tick(self, interval: int) -> None:
         gpu = self._system.gpu
@@ -68,4 +68,4 @@ class DynPrioPolicy(Policy):
         for s in self._schedulers:
             s.mode = mode
         self.mode_counts[mode] += 1
-        self._system.sim.after(interval, lambda: self._tick(interval))
+        self._system.sim.after_call(interval, self._tick, interval)

@@ -43,7 +43,7 @@ class HelmPolicy(Policy):
         system.llc.bypass_fn = self._bypass
         if system.gpu is not None:
             interval = self.sample_interval * GPU_CYCLE_TICKS
-            system.sim.after(interval, lambda: self._sample(interval))
+            system.sim.after_call(interval, self._sample, interval)
 
     def _bypass(self, req) -> bool:
         if not self.tolerant:
@@ -64,4 +64,4 @@ class HelmPolicy(Policy):
         if d_reads > 0:
             self.tolerant = (d_stalls / d_reads) <= self.stall_tolerance
         self.samples += 1
-        self._system.sim.after(interval, lambda: self._sample(interval))
+        self._system.sim.after_call(interval, self._sample, interval)

@@ -41,7 +41,7 @@ class TapPolicy(Policy):
         system.llc.fill_rrpv_fn = self._fill_rrpv
         if system.gpu is not None:
             interval = self.sample_interval * GPU_CYCLE_TICKS
-            system.sim.after(interval, lambda: self._sample(interval))
+            system.sim.after_call(interval, self._sample, interval)
 
     def _fill_rrpv(self, req):
         if req.is_gpu and self.demote_gpu:
@@ -64,4 +64,4 @@ class TapPolicy(Policy):
             self.demote_gpu = tolerant and \
                 hit_rate < self.hit_rate_threshold
         self.samples += 1
-        self._system.sim.after(interval, lambda: self._sample(interval))
+        self._system.sim.after_call(interval, self._sample, interval)

@@ -1,0 +1,136 @@
+"""Opt-in profiling of the event-kernel run loop.
+
+Attach with :meth:`repro.sim.engine.Simulator.enable_profiling` (or the
+``--profile`` flag of ``python -m repro run`` / ``standalone``); the
+kernel then records, per owner, how many events it executed and how much
+wall time their callbacks consumed, plus the run loop's own overhead.
+
+The layer is strictly opt-in: with no profile attached the kernel takes
+an uninstrumented run loop, so the default path pays nothing per event
+(verified by ``scripts/bench_kernel.py``).
+
+Owner attribution: a callback that is a bound method is keyed by its
+object's ``name`` attribute when it has one (``cpu0``, ``gpu``, ...) or
+its class name otherwise, plus the method name — so a profile reads as
+``cpu0._activate``, ``GpuPipeline._activate``, ``SharedLLC.access``,
+``MemRequest.complete`` and immediately shows where the run spends time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import RunResult
+
+
+def owner_of(fn) -> str:
+    """Stable, human-readable key for a scheduled callback."""
+    obj = getattr(fn, "__self__", None)
+    if obj is not None:
+        name = getattr(obj, "name", None)
+        if not isinstance(name, str):
+            name = type(obj).__name__
+        return f"{name}.{fn.__name__}"
+    return getattr(fn, "__qualname__", repr(fn))
+
+
+class KernelProfile:
+    """Per-owner event counts and wall-time breakdown of one or more
+    :meth:`Simulator.run` calls."""
+
+    def __init__(self) -> None:
+        #: owner key -> [event count, cumulative callback seconds]
+        self.by_owner: dict[str, list] = {}
+        self.events = 0
+        self.event_time = 0.0           # seconds inside callbacks
+        self.run_time = 0.0             # seconds inside run() overall
+        self.cancelled_seen = 0         # lazily-deleted entries skipped
+        self.compactions_before = 0     # cancelled count at last compaction
+
+    @property
+    def kernel_time(self) -> float:
+        """Run-loop overhead: time in run() not spent in callbacks."""
+        return max(self.run_time - self.event_time, 0.0)
+
+    def as_dict(self) -> dict:
+        owners = {
+            k: {"events": c, "seconds": round(s, 6)}
+            for k, (c, s) in sorted(self.by_owner.items(),
+                                    key=lambda kv: -kv[1][1])
+        }
+        return {
+            "events": self.events,
+            "run_seconds": round(self.run_time, 6),
+            "callback_seconds": round(self.event_time, 6),
+            "kernel_seconds": round(self.kernel_time, 6),
+            "events_per_second": round(self.events / self.run_time)
+            if self.run_time else 0,
+            "cancelled_skipped": self.cancelled_seen,
+            "owners": owners,
+        }
+
+    def report(self, top: int = 20) -> str:
+        """Human-readable breakdown, widest consumers first."""
+        lines = [
+            f"kernel profile: {self.events:,} events in "
+            f"{self.run_time:.3f}s "
+            f"({self.events / self.run_time:,.0f} ev/s)"
+            if self.run_time else "kernel profile: no run recorded",
+            f"  callbacks {self.event_time:.3f}s, run-loop overhead "
+            f"{self.kernel_time:.3f}s, cancelled skipped "
+            f"{self.cancelled_seen:,}",
+            f"  {'owner':36s} {'events':>10s} {'seconds':>9s} {'%time':>6s}",
+        ]
+        total = self.event_time or 1.0
+        ranked = sorted(self.by_owner.items(), key=lambda kv: -kv[1][1])
+        for key, (count, secs) in ranked[:top]:
+            lines.append(f"  {key[:36]:36s} {count:10,d} {secs:9.3f} "
+                         f"{100.0 * secs / total:5.1f}%")
+        rest = ranked[top:]
+        if rest:
+            count = sum(c for _, (c, _s) in rest)
+            secs = sum(s for _, (_c, s) in rest)
+            lines.append(f"  {'(other)':36s} {count:10,d} {secs:9.3f} "
+                         f"{100.0 * secs / total:5.1f}%")
+        return "\n".join(lines)
+
+
+def profile_mix(mix_name: str, policy: str = "baseline",
+                scale: str = "smoke", seed: int = 1
+                ) -> tuple["RunResult", KernelProfile]:
+    """Run one mix with kernel profiling on (bypasses the result cache —
+    a profiled run is about the breakdown, not the result)."""
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+    from repro.policies import make_policy
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    m = mix_by_name(mix_name)
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m, make_policy(policy))
+    prof = system.sim.enable_profiling()
+    system.run()
+    return collect(system), prof
+
+
+def profile_standalone(game: Optional[str] = None,
+                       spec: Optional[int] = None, scale: str = "smoke",
+                       seed: int = 1) -> tuple["RunResult", KernelProfile]:
+    """Profiled standalone run (one GPU game or one SPEC application)."""
+    from repro.config import default_config
+    from repro.exec.specs import standalone_cpu_spec, standalone_gpu_spec
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    if (game is None) == (spec is None):
+        raise ValueError("need exactly one of game/spec")
+    spec_obj = standalone_gpu_spec(game, scale, seed) if game \
+        else standalone_cpu_spec(spec, scale, seed)
+    m = spec_obj.mix
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m)
+    prof = system.sim.enable_profiling()
+    system.run()
+    return collect(system), prof

@@ -5,65 +5,227 @@ callbacks at integer tick times and the kernel executes them in
 ``(time, sequence)`` order, so ties are broken by scheduling order and every
 run is bit-reproducible.
 
-The kernel is deliberately tiny and allocation-light — it is the hottest
-loop in the package (the guides' advice: optimise the measured bottleneck,
-keep the inner loop simple).
+This is the hottest loop in the package, and it is hand-tuned:
+
+* **Calendar queue.**  Events live in per-tick *buckets* (a dict keyed by
+  tick) and a binary heap orders only the *distinct* tick values.  Almost
+  every delay in the simulated machine is a small constant (1-10 tick ring
+  hops, the 10-cycle LLC lookup, 4-tick DRAM command cycles), so most
+  schedules land on a tick that already has a bucket — an O(1) list append
+  with no comparisons at all.  Only the first event of a tick touches the
+  heap, and those comparisons are C-level int compares, never a Python
+  ``__lt__``.  Within a bucket, append order *is* ``seq`` order, so
+  execution order is exactly the old kernel's ``(time, seq)`` order
+  (proven by the golden tests in ``tests/sim/test_engine_golden.py``).
+
+* **Closure-free scheduling.**  :meth:`Simulator.at_call` /
+  :meth:`Simulator.after_call` store ``(fn, arg)`` directly in the event's
+  slots, so the per-memory-access hot paths (core/GPU -> LLC -> DRAM)
+  schedule without allocating a lambda or bound-method closure per event.
+
+* **O(1) bookkeeping.**  ``pending()`` reads a live-event counter that
+  :meth:`Event.cancel` and the run loop maintain; cancellation stays lazy,
+  and when cancelled entries outnumber live ones the queue is compacted in
+  place so long runs with heavy cancellation (DRAM ``_kick`` retimers, ATU
+  gating) stay bounded in memory.
+
+* **Opt-in profiling.**  ``enable_profiling()`` attaches a
+  :class:`repro.prof.KernelProfile`; the default path checks one attribute
+  per ``run()`` call — per-event cost is strictly zero when disabled.
+
+:class:`ReferenceSimulator` preserves the previous single-heap kernel
+verbatim.  It is not used by the simulator itself; it exists so the
+equivalence tests and ``scripts/bench_kernel.py`` can compare order and
+speed against the pre-calendar-queue implementation.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
+
+#: sentinel marking "no argument" on plain (closure-carrying) events
+_NO_ARG = object()
+
+#: compact when more than this many cancelled entries are enqueued AND
+#: they outnumber the live ones (see Simulator._maybe_compact)
+_COMPACT_MIN = 64
 
 
 class Event:
     """A scheduled callback.  ``cancel()`` is O(1) (lazy deletion)."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "arg", "sim", "cancelled")
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+    def __init__(self, time: int, seq: int, fn: Callable, arg: Any,
+                 sim: Optional["Simulator"]):
         self.time = time
         self.seq = seq
         self.fn = fn
+        self.arg = arg
+        self.sim = sim
         self.cancelled = False
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self.sim
+            if sim is not None:
+                sim._live -= 1
+                sim._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Simulator:
-    """Event queue with integer time in ticks (1 tick = 1 CPU cycle)."""
+    """Event queue with integer time in ticks (1 tick = 1 CPU cycle).
+
+    Scheduling API:
+
+    * ``at(time, fn)`` / ``after(delay, fn)`` — call ``fn()`` (any
+      callable, including closures).
+    * ``at_call(time, fn, arg)`` / ``after_call(delay, fn, arg)`` — call
+      ``fn(arg)``; the pair is stored in the event's slots, so hot paths
+      avoid allocating a closure per scheduled callback.
+    """
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[Event] = []
         self._seq: int = 0
         self._stop = False
+        #: tick -> list of events at that tick, in scheduling (seq) order
+        self._buckets: dict[int, list[Event]] = {}
+        #: heap of the distinct tick values present in ``_buckets``
+        self._times: list[int] = []
+        self._live = 0                  # scheduled, not cancelled, not run
+        self._cancelled = 0             # cancelled but still enqueued
+        self._size = 0                  # total enqueued entries
+        #: attached :class:`repro.prof.KernelProfile`, or None (default)
+        self.profile = None
+
+    # -- scheduling (each variant inlines the push: this is the hot path) --
 
     def at(self, time: int, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` at absolute ``time`` (must be >= now)."""
         if time < self.now:
             raise ValueError(f"schedule in the past: {time} < {self.now}")
         self._seq += 1
-        ev = Event(int(time), self._seq, fn)
-        heapq.heappush(self._queue, ev)
+        t = int(time)
+        ev = Event(t, self._seq, fn, _NO_ARG, self)
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [ev]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(ev)
+        self._size += 1
+        self._live += 1
         return ev
 
     def after(self, delay: int, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` ``delay`` ticks from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.at(self.now + int(delay), fn)
+        self._seq += 1
+        t = self.now + int(delay)
+        ev = Event(t, self._seq, fn, _NO_ARG, self)
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [ev]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(ev)
+        self._size += 1
+        self._live += 1
+        return ev
+
+    def at_call(self, time: int, fn: Callable[[Any], None],
+                arg: Any) -> Event:
+        """Schedule ``fn(arg)`` at absolute ``time`` without a closure."""
+        if time < self.now:
+            raise ValueError(f"schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        t = int(time)
+        ev = Event(t, self._seq, fn, arg, self)
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [ev]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(ev)
+        self._size += 1
+        self._live += 1
+        return ev
+
+    def after_call(self, delay: int, fn: Callable[[Any], None],
+                   arg: Any) -> Event:
+        """Schedule ``fn(arg)`` ``delay`` ticks from now, closure-free."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        t = self.now + int(delay)
+        ev = Event(t, self._seq, fn, arg, self)
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [ev]
+            heapq.heappush(self._times, t)
+        else:
+            b.append(ev)
+        self._size += 1
+        self._live += 1
+        return ev
+
+    # -- bookkeeping ------------------------------------------------------
 
     def pending(self) -> int:
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Live (scheduled, not cancelled) events — O(1)."""
+        return self._live
 
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
         self._stop = True
+
+    def enable_profiling(self):
+        """Attach (and return) a :class:`repro.prof.KernelProfile`.
+
+        Subsequent :meth:`run` calls record per-owner event counts and a
+        wall-time breakdown.  Strictly opt-in: when no profile is
+        attached the run loop takes the uninstrumented path.
+        """
+        from repro.prof import KernelProfile
+        if self.profile is None:
+            self.profile = KernelProfile()
+        return self.profile
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the queue without cancelled entries.
+
+        Called only from safe points (between buckets in the run loop and
+        from schedule calls outside it), never while a bucket is being
+        iterated.  Rebuilds in place so the run loop's local aliases of
+        ``_buckets``/``_times`` stay valid.
+        """
+        if self._cancelled < _COMPACT_MIN or \
+                self._cancelled * 2 <= self._size:
+            return
+        buckets = self._buckets
+        size = 0
+        for t in list(buckets):
+            b = buckets[t]
+            keep = [ev for ev in b if not ev.cancelled]
+            if not keep:
+                del buckets[t]
+            else:
+                if len(keep) != len(b):
+                    buckets[t] = keep
+                size += len(keep)
+        self._times[:] = buckets.keys()
+        heapq.heapify(self._times)
+        self._size = size
+        self._cancelled = 0
+
+    # -- the run loop -----------------------------------------------------
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
@@ -75,9 +237,196 @@ class Simulator:
         observe a consistent clock.  Returns the number of events
         executed.
         """
+        if self.profile is not None:
+            return self._run_profiled(until, max_events)
+        if max_events is not None and max_events < 1:
+            max_events = 1            # old kernel ran one event, then cut
+        executed = 0
+        self._stop = False
+        buckets = self._buckets
+        times = self._times
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        while times:
+            if self._cancelled > _COMPACT_MIN:
+                self._maybe_compact()
+                if not times:
+                    break
+            t = times[0]
+            if until is not None and t > until:
+                self.now = until
+                return executed
+            heappop(times)
+            # the bucket stays in the dict while it executes, so an event
+            # scheduling at the current tick appends to it and runs in
+            # this same pass, in seq order
+            bucket = buckets[t]
+            self.now = t
+            i = 0
+            while i < len(bucket):
+                ev = bucket[i]
+                i += 1
+                self._size -= 1
+                if ev.cancelled:
+                    self._cancelled -= 1
+                    continue
+                self._live -= 1
+                ev.sim = None         # a late cancel() must not recount
+                arg = ev.arg
+                if arg is no_arg:
+                    ev.fn()
+                else:
+                    ev.fn(arg)
+                executed += 1
+                if self._stop or executed == max_events:
+                    # leave the unexecuted suffix for a later run()
+                    del bucket[:i]
+                    if bucket:
+                        heapq.heappush(times, t)
+                    else:
+                        del buckets[t]
+                    return executed
+            del buckets[t]
+        if (until is not None and not self._stop and self.now < until):
+            # queue drained before the horizon: advance the clock to it
+            self.now = int(until)
+        return executed
+
+    def _run_profiled(self, until: Optional[int],
+                      max_events: Optional[int]) -> int:
+        """Instrumented twin of :meth:`run` (identical event order)."""
+        from time import perf_counter
+        from repro.prof import owner_of
+        prof = self.profile
+        data = prof.by_owner
+        t_loop = perf_counter()
+        in_events = 0.0
+        if max_events is not None and max_events < 1:
+            max_events = 1
+        executed = 0
+        self._stop = False
+        buckets = self._buckets
+        times = self._times
+        heappop = heapq.heappop
+        no_arg = _NO_ARG
+        try:
+            while times:
+                if self._cancelled > _COMPACT_MIN:
+                    prof.compactions_before = self._cancelled
+                    self._maybe_compact()
+                    if not times:
+                        break
+                t = times[0]
+                if until is not None and t > until:
+                    self.now = until
+                    return executed
+                heappop(times)
+                bucket = buckets[t]
+                self.now = t
+                i = 0
+                while i < len(bucket):
+                    ev = bucket[i]
+                    i += 1
+                    self._size -= 1
+                    if ev.cancelled:
+                        self._cancelled -= 1
+                        prof.cancelled_seen += 1
+                        continue
+                    self._live -= 1
+                    ev.sim = None
+                    arg = ev.arg
+                    key = owner_of(ev.fn)
+                    t0 = perf_counter()
+                    if arg is no_arg:
+                        ev.fn()
+                    else:
+                        ev.fn(arg)
+                    dt = perf_counter() - t0
+                    in_events += dt
+                    cell = data.get(key)
+                    if cell is None:
+                        data[key] = [1, dt]
+                    else:
+                        cell[0] += 1
+                        cell[1] += dt
+                    executed += 1
+                    if self._stop or executed == max_events:
+                        del bucket[:i]
+                        if bucket:
+                            heapq.heappush(times, t)
+                        else:
+                            del buckets[t]
+                        return executed
+                del buckets[t]
+            if (until is not None and not self._stop and self.now < until):
+                self.now = int(until)
+            return executed
+        finally:
+            prof.events += executed
+            prof.event_time += in_events
+            prof.run_time += perf_counter() - t_loop
+
+
+class ReferenceSimulator:
+    """The pre-calendar-queue kernel: one global binary heap of events.
+
+    Kept verbatim (modulo the ``at_call``/``after_call`` extension, which
+    the rest of the package now schedules through) as the golden
+    reference: the equivalence tests prove the calendar-queue kernel
+    executes events in exactly this kernel's ``(time, seq)`` order, and
+    ``scripts/bench_kernel.py`` measures speedup against it.
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._stop = False
+
+    def at(self, time: int, fn: Callable[[], None]) -> Event:
+        if time < self.now:
+            raise ValueError(f"schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        ev = Event(int(time), self._seq, fn, _NO_ARG, None)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after(self, delay: int, fn: Callable[[], None]) -> Event:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at(self.now + int(delay), fn)
+
+    def at_call(self, time: int, fn: Callable[[Any], None],
+                arg: Any) -> Event:
+        if time < self.now:
+            raise ValueError(f"schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        ev = Event(int(time), self._seq, fn, arg, None)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after_call(self, delay: int, fn: Callable[[Any], None],
+                   arg: Any) -> Event:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at_call(self.now + int(delay), fn, arg)
+
+    def pending(self) -> int:
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def enable_profiling(self):
+        raise NotImplementedError(
+            "profiling is a calendar-queue kernel feature")
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
         queue = self._queue
         executed = 0
         self._stop = False
+        no_arg = _NO_ARG
         while queue:
             ev = heapq.heappop(queue)
             if ev.cancelled:
@@ -87,7 +436,10 @@ class Simulator:
                 self.now = until
                 break
             self.now = ev.time
-            ev.fn()
+            if ev.arg is no_arg:
+                ev.fn()
+            else:
+                ev.fn(ev.arg)
             executed += 1
             if self._stop:
                 break
@@ -95,6 +447,5 @@ class Simulator:
                 break
         if (until is not None and not queue and not self._stop
                 and self.now < until):
-            # queue drained before the horizon: advance the clock to it
             self.now = int(until)
         return executed

@@ -91,17 +91,32 @@ class StatSet:
     def counters(self) -> Iterator[Counter]:
         return iter(self._counters.values())
 
+    def accumulators(self) -> Iterator[Accumulator]:
+        return iter(self._accs.values())
+
     def get(self, name: str) -> int:
         c = self._counters.get(name)
         return c.value if c is not None else 0
 
     def snapshot(self) -> dict[str, int]:
-        return {k: c.value for k, c in self._counters.items()}
+        """All integer stats: counter values plus, per accumulator,
+        ``<name>_n`` / ``<name>_total``.
+
+        Accumulators used to be dropped here, which silently hid e.g.
+        the DRAM queueing-latency accumulators from metrics harvesting.
+        Only the summable fields are exposed (``n``/``total``), so
+        snapshots of sharded components can be added and :meth:`diff`'d;
+        derive a mean as ``total / n`` or use :meth:`as_dict`.
+        """
+        out = {k: c.value for k, c in self._counters.items()}
+        for k, a in self._accs.items():
+            out[f"{k}_n"] = a.n
+            out[f"{k}_total"] = a.total
+        return out
 
     def diff(self, base: dict[str, int]) -> dict[str, int]:
-        """Counter deltas since ``base`` (a prior :meth:`snapshot`)."""
-        return {k: c.value - base.get(k, 0)
-                for k, c in self._counters.items()}
+        """Stat deltas since ``base`` (a prior :meth:`snapshot`)."""
+        return {k: v - base.get(k, 0) for k, v in self.snapshot().items()}
 
     def reset(self) -> None:
         for c in self._counters.values():
@@ -109,8 +124,17 @@ class StatSet:
         for a in self._accs.values():
             a.reset()
 
-    def as_dict(self) -> dict[str, int]:
-        return self.snapshot()
+    def as_dict(self) -> dict:
+        """:meth:`snapshot` plus derived per-accumulator ``<name>_mean``
+        (float) and ``<name>_min`` / ``<name>_max`` (when any sample was
+        recorded)."""
+        out: dict = self.snapshot()
+        for k, a in self._accs.items():
+            out[f"{k}_mean"] = a.mean
+            if a.n:
+                out[f"{k}_min"] = a.min
+                out[f"{k}_max"] = a.max
+        return out
 
     def __repr__(self) -> str:
         return f"StatSet({self.owner}: {self.snapshot()})"

@@ -39,14 +39,17 @@ MAX_TICKS = 2_000_000_000
 
 
 class HeterogeneousSystem:
-    def __init__(self, cfg: SystemConfig, mix: Mix, policy=None):
+    def __init__(self, cfg: SystemConfig, mix: Mix, policy=None, *,
+                 sim: Optional[Simulator] = None):
         if policy is None:
             from repro.policies.baseline import BaselinePolicy
             policy = BaselinePolicy()
         self.cfg = cfg
         self.mix = mix
         self.policy = policy
-        self.sim = Simulator()
+        # ``sim`` lets tests/benchmarks inject an alternative kernel
+        # (e.g. engine.ReferenceSimulator for order-equivalence checks)
+        self.sim = Simulator() if sim is None else sim
         n_cpus = mix.n_cpus
         self.ring = RingInterconnect(cfg.ring, max(n_cpus, 1),
                                      model=cfg.ring.model,
@@ -112,11 +115,11 @@ class HeterogeneousSystem:
 
     def _cpu_send(self, req: MemRequest) -> None:
         d = self.ring.delay(req.source, "llc")
-        self.sim.after(d, lambda: self.llc.access(req))
+        self.sim.after_call(d, self.llc.access, req)
 
     def _gpu_send(self, req: MemRequest) -> None:
         d = self.ring.delay("gpu", "llc")
-        self.sim.after(d, lambda: self.llc.access(req))
+        self.sim.after_call(d, self.llc.access, req)
 
     def _response_delay(self, req: MemRequest) -> int:
         return self.ring.delay("llc", req.source)
@@ -129,9 +132,9 @@ class HeterogeneousSystem:
             back = self.ring.delay(f"mc{ch}", "llc")
 
             def delayed(r, _orig=orig, _back=back):
-                self.sim.after(_back, lambda: _orig(r))
+                self.sim.after_call(_back, _orig, r)
             req.on_done = delayed
-        self.sim.after(d, lambda: self.dram.send(req))
+        self.sim.after_call(d, self.dram.send, req)
 
     def _back_invalidate(self, owner: str, addr: int) -> bool:
         idx = int(owner[3:])

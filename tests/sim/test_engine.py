@@ -144,3 +144,102 @@ def test_property_execution_order_is_sorted_stable(times):
     sim.run()
     assert log == sorted(log)
     assert len(log) == len(times)
+
+
+# -- calendar-queue bookkeeping (O(1) pending, lazy-cancel compaction) --
+
+def test_pending_is_live_counter():
+    sim = Simulator()
+    evs = [sim.at(i, lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    evs[3].cancel()
+    evs[7].cancel()
+    assert sim.pending() == 8
+    sim.run(max_events=4)
+    assert sim.pending() == 4
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    ev = sim.at(5, lambda: None)
+    sim.at(6, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert sim.pending() == 1
+    assert sim.run() == 1
+    assert sim.pending() == 0
+
+
+def test_cancel_after_execution_is_harmless():
+    sim = Simulator()
+    log = []
+    ev = sim.at(1, lambda: log.append(1))
+    sim.at(2, lambda: log.append(2))
+    sim.run(until=1)
+    ev.cancel()                    # already ran: must not corrupt counters
+    assert sim.pending() == 1
+    sim.run()
+    assert log == [1, 2]
+    assert sim.pending() == 0
+
+
+def test_at_call_and_after_call_pass_argument():
+    sim = Simulator()
+    log = []
+    sim.at_call(5, log.append, "at")
+    sim.after_call(7, log.append, "after")
+    sim.run()
+    assert log == ["at", "after"]
+    assert sim.now == 7
+
+
+def test_call_variants_interleave_with_closures_in_seq_order():
+    sim = Simulator()
+    log = []
+    sim.at(5, lambda: log.append(0))
+    sim.at_call(5, log.append, 1)
+    sim.at(5, lambda: log.append(2))
+    sim.after_call(5, log.append, 3)
+    sim.run()
+    assert log == [0, 1, 2, 3]
+
+
+def test_compaction_drops_cancelled_entries():
+    from repro.sim import engine
+    sim = Simulator()
+    keep = [sim.at(1_000_000, lambda: None) for _ in range(4)]
+    doomed = [sim.at(i, lambda: None)
+              for i in range(engine._COMPACT_MIN * 3)]
+    for ev in doomed:
+        ev.cancel()
+    assert sim._cancelled == len(doomed)
+    sim.run(until=500_000)         # compacts; nothing executes
+    assert sim._cancelled == 0
+    assert sim._size == len(keep)
+    assert sim.pending() == len(keep)
+    assert sim.run() == len(keep)
+
+
+def test_compaction_preserves_order_of_survivors():
+    from repro.sim import engine
+    sim = Simulator()
+    log = []
+    events = [sim.at_call(t, log.append, i)
+              for i, t in enumerate([5, 5, 5, 9, 9, 2])]
+    doomed = [sim.at(1, lambda: None)
+              for _ in range(engine._COMPACT_MIN * 3)]
+    for ev in doomed:
+        ev.cancel()
+    sim.run()
+    assert log == [5, 0, 1, 2, 3, 4]
+    assert (sim._size, sim._cancelled, sim.pending()) == (0, 0, 0)
+
+
+def test_max_events_zero_runs_one_event():
+    # old-kernel edge case, preserved: max_events < 1 still runs one event
+    sim = Simulator()
+    log = []
+    sim.at(1, lambda: log.append(1))
+    sim.at(2, lambda: log.append(2))
+    assert sim.run(max_events=0) == 1
+    assert log == [1]

@@ -49,3 +49,31 @@ def test_statset_reset():
     s.reset()
     assert s.get("a") == 0
     assert s.accumulator("b").n == 0
+
+
+def test_snapshot_includes_accumulators():
+    """Regression: snapshot()/diff()/as_dict() used to drop accumulators
+    entirely, hiding e.g. the DRAM queueing-latency stats from metrics."""
+    s = StatSet("dram")
+    s.counter("reads").inc(3)
+    lat = s.accumulator("queue_lat")
+    lat.add(10)
+    lat.add(30)
+    snap = s.snapshot()
+    assert snap == {"reads": 3, "queue_lat_n": 2, "queue_lat_total": 40}
+    lat.add(2)
+    assert s.diff(snap) == {"reads": 0, "queue_lat_n": 1,
+                            "queue_lat_total": 2}
+
+
+def test_as_dict_derives_mean_min_max():
+    s = StatSet("x")
+    a = s.accumulator("lat")
+    d = s.as_dict()
+    assert d["lat_n"] == 0 and d["lat_mean"] == 0.0
+    assert "lat_min" not in d          # no samples: no min/max
+    a.add(4)
+    a.add(8)
+    d = s.as_dict()
+    assert d["lat_mean"] == 6.0
+    assert (d["lat_min"], d["lat_max"]) == (4, 8)

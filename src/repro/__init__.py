@@ -30,6 +30,7 @@ from repro.sim.system import HeterogeneousSystem
 from repro.analysis.diagnostics import Probe
 from repro.analysis.energy import EnergyParams, EnergyReport, price_run
 from repro.analysis.stats import Replicated, replicate, summarize
+from repro.telemetry import Telemetry, record_mix, record_standalone
 from repro.tracing import LlcTrace, TraceRecorder, TraceReplayer
 
 __version__ = "1.0.0"
@@ -46,6 +47,7 @@ __all__ = [
     "alone_ipcs", "weighted_speedup_for", "HeterogeneousSystem",
     "Probe", "EnergyParams", "EnergyReport", "price_run",
     "Replicated", "replicate", "summarize",
+    "Telemetry", "record_mix", "record_standalone",
     "LlcTrace", "TraceRecorder", "TraceReplayer",
     "__version__",
 ]

@@ -56,6 +56,11 @@ def _print_result(r, scale: str) -> None:
         print(f"  FRPU mean |error|: {mean_abs:.2f}%")
 
 
+def _print_telemetry(tel, path: str) -> None:
+    counts = ", ".join(f"{t}: {n}" for t, n in tel.counts().items())
+    print(f"  telemetry: {tel.count()} records -> {path}  ({counts})")
+
+
 def cmd_run(args) -> int:
     t0 = time.time()
     if args.profile:
@@ -65,6 +70,14 @@ def cmd_run(args) -> int:
         _print_result(r, args.scale)
         print(f"  wall time: {time.time()-t0:.1f}s")
         print(prof.report())
+        return 0
+    if args.telemetry:
+        from repro.telemetry import record_mix
+        r, tel = record_mix(args.mix, args.policy, scale=args.scale,
+                            seed=args.seed, path=args.telemetry)
+        _print_result(r, args.scale)
+        _print_telemetry(tel, args.telemetry)
+        print(f"  wall time: {time.time()-t0:.1f}s")
         return 0
     r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed)
     _print_result(r, args.scale)
@@ -76,10 +89,17 @@ def cmd_standalone(args) -> int:
     if not args.game and not args.spec:
         print("need --game or --spec", file=sys.stderr)
         return 2
+    tel = None
     if args.profile:
         from repro.prof import profile_standalone
         r, prof = profile_standalone(game=args.game, spec=args.spec,
                                      scale=args.scale, seed=args.seed)
+    elif args.telemetry:
+        from repro.telemetry import record_standalone
+        prof = None
+        r, tel = record_standalone(game=args.game, spec=args.spec,
+                                   scale=args.scale, seed=args.seed,
+                                   path=args.telemetry)
     else:
         prof = None
         r = standalone_gpu(args.game, args.scale, args.seed) if args.game \
@@ -93,6 +113,8 @@ def cmd_standalone(args) -> int:
               f"LLC accesses {r.llc['cpu_accesses']:,}")
     if prof is not None:
         print(prof.report())
+    if tel is not None:
+        _print_telemetry(tel, args.telemetry)
     return 0
 
 
@@ -211,6 +233,10 @@ def main(argv=None) -> int:
     p.add_argument("--profile", action="store_true",
                    help="profile the event kernel (per-owner event "
                         "counts + wall-time breakdown; bypasses cache)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="record control-loop telemetry to PATH "
+                        "(.jsonl or .csv; bypasses cache; see "
+                        "docs/telemetry.md)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("standalone", help="run one app alone")
@@ -218,6 +244,9 @@ def main(argv=None) -> int:
     p.add_argument("--spec", type=int)
     p.add_argument("--profile", action="store_true",
                    help="profile the event kernel (bypasses cache)")
+    p.add_argument("--telemetry", metavar="PATH",
+                   help="record control-loop telemetry to PATH "
+                        "(.jsonl or .csv; bypasses cache)")
     p.set_defaults(fn=cmd_standalone)
 
     p = sub.add_parser("compare", help="compare policies on one mix")

@@ -51,6 +51,10 @@ class AccessThrottlingUnit:
         self._gate_until = 0
         self.recomputes = 0
         self.throttled_recomputes = 0
+        #: inputs of the most recent :meth:`compute` — ``(C_P, C_T, A)``
+        #: — kept for observability (telemetry emitters, debugging);
+        #: None until the first recompute
+        self.last_inputs: tuple[float, float, float] | None = None
 
     # -- Fig. 6 ----------------------------------------------------------------
 
@@ -63,6 +67,7 @@ class AccessThrottlingUnit:
                 a: float) -> tuple[int, float]:
         """Run the Fig. 6 flow; returns the new ``(N_G, W_G cycles)``."""
         self.recomputes += 1
+        self.last_inputs = (c_p, c_t, a)
         self.ng = 1
         if c_p > c_t or a <= 0:
             self.wg_ticks = 0

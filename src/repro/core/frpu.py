@@ -69,8 +69,11 @@ class FrameRatePredictor:
 
     def __init__(self, rtp_entries: int = 64, verify_threshold: float = 0.25,
                  correct_throttle: bool = True, skip_frames: int = 1,
-                 ewma_alpha: float = 0.4):
+                 ewma_alpha: float = 0.4, telemetry=None):
         self.table = RtpInfoTable(rtp_entries)
+        #: optional repro.telemetry.Telemetry: phase transitions and
+        #: prediction-error samples are emitted when attached
+        self.telemetry = telemetry
         self.verify_threshold = verify_threshold
         self.correct_throttle = correct_throttle
         #: initial frames ignored entirely (cold caches would poison the
@@ -146,6 +149,11 @@ class FrameRatePredictor:
             self._mid_frame_prediction.clear()
             self.phase = Phase.LEARNING
             self.phase_transitions.append((rec.index, Phase.LEARNING))
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "frpu_phase", tick=rec.end_time, frame=rec.index,
+                    phase=Phase.LEARNING.value,
+                    actual_cycles=rec.cycles)
         else:
             self._refresh(rec)
 
@@ -186,6 +194,11 @@ class FrameRatePredictor:
         self.frames_learned += 1
         self.phase = Phase.PREDICTION
         self.phase_transitions.append((rec.index, Phase.PREDICTION))
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "frpu_phase", tick=rec.end_time, frame=rec.index,
+                phase=Phase.PREDICTION.value, n_rtp=self.learned.n_rtp,
+                c_avg=self.learned.c_avg, actual_cycles=rec.cycles)
 
     def _verify(self, rec: FrameRecord) -> bool:
         """Cross-verification: does this frame still match the learning?"""
@@ -222,6 +235,11 @@ class FrameRatePredictor:
                                if self.correct_throttle else 0)
         if actual > 0:
             self.error_log.append((rec.index, pred, float(actual)))
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "frpu_error", tick=rec.end_time, frame=rec.index,
+                    predicted_cycles=pred, actual_cycles=float(actual),
+                    error_pct=100.0 * (pred - actual) / actual)
 
     # -- Fig. 8 metric --------------------------------------------------------------
 

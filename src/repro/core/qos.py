@@ -35,16 +35,19 @@ class QoSController:
     def __init__(self, sim: Simulator, cfg: QosConfig,
                  pipeline: GpuPipeline, gpu_frame_cycles: int,
                  dram_schedulers: Sequence[CpuPriorityScheduler] = (),
-                 correct_throttle: bool = True):
+                 correct_throttle: bool = True, telemetry=None):
         self.sim = sim
         self.cfg = cfg
         self.pipeline = pipeline
         self.gpu_frame_cycles = gpu_frame_cycles
         self.dram_schedulers = list(dram_schedulers)
+        #: optional repro.telemetry.Telemetry (shared with the FRPU):
+        #: ATU updates, gate edges and DRAM priority flips are emitted
+        self.telemetry = telemetry
         self.frpu = FrameRatePredictor(
             rtp_entries=cfg.rtp_table_entries,
             verify_threshold=cfg.verify_threshold,
-            correct_throttle=correct_throttle)
+            correct_throttle=correct_throttle, telemetry=telemetry)
         self.atu = AccessThrottlingUnit(wg_step=cfg.wg_step)
         self._pass_gate = PassGate()
         self.throttling = False
@@ -105,15 +108,31 @@ class QoSController:
             # estimated frame rate below target: steps 2 and 3 are
             # not invoked
             self.atu.compute(c_p, c_t, max(a, 1))
+            self._emit_atu(c_p, c_t, a, active=False)
             self._disable()
             return
         self.atu.compute(c_p, c_t, a)
+        self._emit_atu(c_p, c_t, a, active=True)
         self._enable()
+
+    def _emit_atu(self, c_p: float, c_t: float, a: int,
+                  active: bool) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "atu_update", tick=self.sim.now, ng=self.atu.ng,
+                wg_cycles=self.atu.wg, c_p=c_p, c_t=c_t, a=int(a),
+                active=int(active))
 
     def _enable(self) -> None:
         if not self.throttling:
             self.throttling = True
             self._c_throttle_on.inc()
+            if self.telemetry is not None:
+                self.telemetry.emit("gate", tick=self.sim.now,
+                                    state="open", wg_cycles=self.atu.wg)
+                if self.cfg.cpu_priority_boost and self.dram_schedulers:
+                    self.telemetry.emit("dram_priority", tick=self.sim.now,
+                                        mode="cpu_boost", source="qos")
         self.pipeline.gate = self.atu
         if self.cfg.cpu_priority_boost:
             for s in self.dram_schedulers:
@@ -123,6 +142,12 @@ class QoSController:
         if self.throttling:
             self.throttling = False
             self._c_throttle_off.inc()
+            if self.telemetry is not None:
+                self.telemetry.emit("gate", tick=self.sim.now,
+                                    state="closed", wg_cycles=0.0)
+                if self.cfg.cpu_priority_boost and self.dram_schedulers:
+                    self.telemetry.emit("dram_priority", tick=self.sim.now,
+                                        mode="normal", source="qos")
         self.atu.reset_gate()
         self.pipeline.gate = self._pass_gate
         for s in self.dram_schedulers:

@@ -316,3 +316,17 @@ class DramSystem:
             for k, v in c.stats.snapshot().items():
                 out[k] = out.get(k, 0) + v
         return out
+
+    def queue_depth(self) -> int:
+        """Total pending transactions across all channels."""
+        return sum(c.queue_depth() for c in self.controllers)
+
+    def interval_state(self) -> dict[str, int]:
+        """Cumulative per-side data bytes plus the instantaneous queue
+        depth — the telemetry sampler differences consecutive snapshots
+        into per-interval bandwidth shares.  Read-only."""
+        return {"cpu_bytes": (self.bytes_served("cpu", False) +
+                              self.bytes_served("cpu", True)),
+                "gpu_bytes": (self.bytes_served("gpu", False) +
+                              self.bytes_served("gpu", True)),
+                "queue_depth": self.queue_depth()}

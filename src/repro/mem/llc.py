@@ -226,3 +226,18 @@ class SharedLLC:
     def cpu_occupancy(self) -> int:
         return sum(n for o, n in self.cache.occupancy_by_owner().items()
                    if o.startswith("cpu"))
+
+    def interval_state(self) -> dict[str, int]:
+        """Occupancy split plus cumulative per-side access/miss counts.
+
+        Consumed by the telemetry interval sampler
+        (:class:`repro.telemetry.sampler.IntervalSampler`), which
+        differences consecutive snapshots into per-interval shares.
+        Read-only: sampling cannot perturb the run.
+        """
+        return {"cpu_lines": self.cpu_occupancy(),
+                "gpu_lines": self.gpu_occupancy(),
+                "cpu_accesses": self._acc["cpu"].value,
+                "gpu_accesses": self._acc["gpu"].value,
+                "cpu_misses": self._miss["cpu"].value,
+                "gpu_misses": self._miss["gpu"].value}

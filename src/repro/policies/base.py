@@ -23,11 +23,27 @@ if TYPE_CHECKING:  # pragma: no cover
 class Policy:
     name = "base"
 
+    #: set by policies that keep a system reference in :meth:`attach`;
+    #: :meth:`emit` routes through it to the system's telemetry
+    _system = None
+
     def scheduler_factory(self) -> Callable[[int], object]:
         return lambda ch: FrFcfsScheduler()
 
     def attach(self, system: "HeterogeneousSystem") -> None:
         """Install hooks; the system is fully built at this point."""
+
+    def emit(self, etype: str, **fields) -> None:
+        """Emit a telemetry record if the attached system records one.
+
+        A no-op (one attribute test) when telemetry is off, so policies
+        can emit decision events unconditionally from their periodic
+        ticks.
+        """
+        system = self._system
+        tel = system.telemetry if system is not None else None
+        if tel is not None:
+            tel.emit(etype, **fields)
 
     def describe(self) -> str:
         return self.name

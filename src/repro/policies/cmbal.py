@@ -78,9 +78,14 @@ class CmBalPolicy(Policy):
         window = self.warps.sample_window()
         if window["reads"] > 0:
             rate = window["stall_rate"]
+            level = self.gate.level
             if rate > self.stall_hi and self.gate.level > 1:
                 self.gate.level -= 1       # congested: fewer ready warps
             elif rate < self.stall_lo and \
                     self.gate.level < self.gate.max_level:
                 self.gate.level += 1       # idle headroom: more warps
+            if self.gate.level != level:
+                self.emit("policy", tick=self._system.sim.now,
+                          policy=self.name, signal="concurrency_level",
+                          value=float(self.gate.level))
         self._system.sim.after_call(interval, self._tick, interval)

@@ -72,11 +72,18 @@ class DashPolicy(Policy):
             return
         u = self._urgency()
         self.urgency_log.append(u)
+        was_urgent = self.urgent
         if not self.urgent and u >= self.URGENT_HI:
             self.urgent = True
         elif self.urgent and u <= self.URGENT_LO:
             self.urgent = False
         mode = "gpu_high" if self.urgent else "cpu_high"
+        if self.urgent != was_urgent:
+            now = self._system.sim.now
+            self.emit("policy", tick=now, policy=self.name,
+                      signal="urgent", value=float(self.urgent))
+            self.emit("dram_priority", tick=now, mode=mode,
+                      source=self.name)
         for s in self._schedulers:
             s.mode = mode
         self._system.sim.after_call(interval, self._tick, interval)

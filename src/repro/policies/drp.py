@@ -99,6 +99,11 @@ class DrpPolicy(Policy):
         gpu = self._system.gpu
         if gpu is None or gpu.stopped:
             return
-        for b in self.books.values():
+        now = self._system.sim.now
+        for kind in sorted(self.books):
+            b = self.books[kind]
+            if b.total >= self.min_samples:
+                self.emit("policy", tick=now, policy=self.name,
+                          signal=f"reuse_prob.{kind}", value=b.prob())
             b.decay()
         self._system.sim.after_call(interval, self._decay, interval)

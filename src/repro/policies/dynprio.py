@@ -52,6 +52,7 @@ class DynPrioPolicy(Policy):
         gpu = self._system.gpu
         if gpu is None or gpu.stopped:
             return
+        prev = self._schedulers[0].mode if self._schedulers else None
         elapsed = gpu.current_frame_elapsed_cycles()
         progress = gpu.frame_progress
         if elapsed >= self._deadline:
@@ -67,5 +68,8 @@ class DynPrioPolicy(Policy):
             mode = "cpu_high"        # ahead of schedule: CPU first
         for s in self._schedulers:
             s.mode = mode
+        if mode != prev:
+            self.emit("dram_priority", tick=self._system.sim.now,
+                      mode=mode, source=self.name)
         self.mode_counts[mode] += 1
         self._system.sim.after_call(interval, self._tick, interval)

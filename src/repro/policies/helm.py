@@ -62,6 +62,11 @@ class HelmPolicy(Policy):
         d_reads = reads - self._last_reads
         self._last_stalls, self._last_reads = stalls, reads
         if d_reads > 0:
+            was = self.tolerant
             self.tolerant = (d_stalls / d_reads) <= self.stall_tolerance
+            if self.tolerant != was:
+                self.emit("policy", tick=self._system.sim.now,
+                          policy=self.name, signal="tolerant",
+                          value=float(self.tolerant))
         self.samples += 1
         self._system.sim.after_call(interval, self._sample, interval)

@@ -61,7 +61,12 @@ class TapPolicy(Policy):
         if d["acc"] > 0 and d["reads"] > 0:
             hit_rate = d["hits"] / d["acc"]
             tolerant = (d["stalls"] / d["reads"]) <= self.stall_tolerance
+            was = self.demote_gpu
             self.demote_gpu = tolerant and \
                 hit_rate < self.hit_rate_threshold
+            if self.demote_gpu != was:
+                self.emit("policy", tick=self._system.sim.now,
+                          policy=self.name, signal="demote_gpu",
+                          value=float(self.demote_gpu))
         self.samples += 1
         self._system.sim.after_call(interval, self._sample, interval)

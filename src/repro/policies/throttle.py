@@ -35,6 +35,7 @@ class ThrottlePolicy(Policy):
         return make
 
     def attach(self, system) -> None:
+        self._system = system
         if system.gpu is None:
             return
         qos_cfg = system.cfg.qos
@@ -46,5 +47,6 @@ class ThrottlePolicy(Policy):
             system.sim, qos_cfg, system.gpu,
             system.cfg.scale.gpu_frame_cycles,
             dram_schedulers=self._schedulers,
-            correct_throttle=self.correct_throttle)
+            correct_throttle=self.correct_throttle,
+            telemetry=system.telemetry)
         self.qos.start()

@@ -23,11 +23,17 @@ from repro.sim.system import HeterogeneousSystem
 
 
 def run_system(cfg: SystemConfig, mix: Mix,
-               policy: Policy | str | None = None) -> RunResult:
-    """Build, run, and harvest one simulation."""
+               policy: Policy | str | None = None,
+               telemetry=None) -> RunResult:
+    """Build, run, and harvest one simulation.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records the
+    control loop's structured events; such runs are never cached — the
+    caller owns the telemetry object and its sinks.
+    """
     if isinstance(policy, str):
         policy = make_policy(policy)
-    system = HeterogeneousSystem(cfg, mix, policy)
+    system = HeterogeneousSystem(cfg, mix, policy, telemetry=telemetry)
     system.run()
     return collect(system)
 

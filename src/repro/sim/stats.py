@@ -130,7 +130,9 @@ class StatSet:
         recorded)."""
         out: dict = self.snapshot()
         for k, a in self._accs.items():
-            out[f"{k}_mean"] = a.mean
+            # guard here too: an accumulator subclass overriding `mean`
+            # without the n==0 guard must not crash result harvesting
+            out[f"{k}_mean"] = a.total / a.n if a.n else 0.0
             if a.n:
                 out[f"{k}_min"] = a.min
                 out[f"{k}_max"] = a.max

@@ -40,13 +40,18 @@ MAX_TICKS = 2_000_000_000
 
 class HeterogeneousSystem:
     def __init__(self, cfg: SystemConfig, mix: Mix, policy=None, *,
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Simulator] = None, telemetry=None):
         if policy is None:
             from repro.policies.baseline import BaselinePolicy
             policy = BaselinePolicy()
         self.cfg = cfg
         self.mix = mix
         self.policy = policy
+        # ``telemetry`` is a repro.telemetry.Telemetry (or None, the
+        # default): every emitting site below guards with ``is not
+        # None``, so a telemetry-less run schedules the exact same
+        # events and produces bit-identical stats
+        self.telemetry = telemetry
         # ``sim`` lets tests/benchmarks inject an alternative kernel
         # (e.g. engine.ReferenceSimulator for order-equivalence checks)
         self.sim = Simulator() if sim is None else sim
@@ -110,6 +115,8 @@ class HeterogeneousSystem:
         self._cores_remaining = len(self.cores)
         self._stopped = False
         policy.attach(self)
+        if telemetry is not None:
+            telemetry.bind(self)
 
     # -- interconnect plumbing ------------------------------------------------
 
@@ -149,6 +156,11 @@ class HeterogeneousSystem:
         self._check_done()
 
     def _frame_done(self, rec) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "frame", tick=rec.end_time, frame=rec.index,
+                cycles=rec.cycles, llc_accesses=rec.llc_accesses,
+                throttle_cycles=rec.throttle_ticks, n_rtps=len(rec.rtps))
         self._check_done()
 
     def _check_done(self) -> None:

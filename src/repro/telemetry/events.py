@@ -1,0 +1,190 @@
+"""The telemetry record schema.
+
+Every record the telemetry layer emits is a flat dict with a ``type``
+field naming one of the event types below plus the fields that type
+declares.  The schema is the *contract*: sinks serialise it, the
+timeline analyser relies on it, and ``docs/telemetry.md`` documents it
+field by field.  Emitting an unknown type or an undeclared field raises
+immediately (telemetry is an observability layer — silent schema drift
+would defeat its purpose), so the schema here and the docs cannot
+diverge from the code without a test noticing.
+
+Units: ``tick`` is simulator ticks (1 tick = 1 CPU cycle at 4 GHz; one
+GPU cycle is 4 ticks).  ``*_cycles`` fields are GPU cycles — the paper's
+unit for frame times (Eqs. 1-3).  Byte fields are bytes over the
+sampling interval.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Field(NamedTuple):
+    name: str
+    kind: str           # "int" | "float" | "str"
+    unit: str           # "" when dimensionless
+    doc: str
+
+
+class EventSpec(NamedTuple):
+    etype: str
+    site: str           # the emitting module/class
+    doc: str
+    fields: tuple[Field, ...]
+    required: frozenset[str]
+
+
+def _spec(etype: str, site: str, doc: str, fields: list[Field],
+          optional: tuple[str, ...] = ()) -> EventSpec:
+    required = frozenset(f.name for f in fields) - set(optional)
+    return EventSpec(etype, site, doc, tuple(fields), required)
+
+
+#: the full record schema, in documentation order
+SCHEMA: dict[str, EventSpec] = {s.etype: s for s in [
+    _spec(
+        "run_meta", "sim.system.HeterogeneousSystem",
+        "One per recording, at tick 0: what is being simulated.",
+        [Field("tick", "int", "tick", "always 0"),
+         Field("mix", "str", "", "Table III mix name"),
+         Field("policy", "str", "", "policy registry name"),
+         Field("scale", "str", "", "scaling preset (smoke/test/bench/paper)"),
+         Field("seed", "int", "", "RNG seed of the run"),
+         Field("n_cpus", "int", "", "number of CPU cores in the mix"),
+         Field("gpu_app", "str", "", "Table II game, or '' for CPU-only")]),
+    _spec(
+        "frame", "sim.system.HeterogeneousSystem._frame_done",
+        "A GPU frame finished rendering (ROP flush + fill drain done).",
+        [Field("tick", "int", "tick", "frame completion time"),
+         Field("frame", "int", "", "frame index (0-based)"),
+         Field("cycles", "int", "GPU cycles", "wall cycles for the frame"),
+         Field("llc_accesses", "int", "", "LLC accesses issued by the "
+               "frame (the paper's per-frame A)"),
+         Field("throttle_cycles", "int", "GPU cycles",
+               "ATU-injected stall accounted to the frame"),
+         Field("n_rtps", "int", "", "render-target planes in the frame")]),
+    _spec(
+        "frpu_phase", "core.frpu.FrameRatePredictor",
+        "The FRPU crossed a learning <-> prediction boundary (Fig. 4).",
+        [Field("tick", "int", "tick", "completion time of the frame that "
+               "triggered the transition"),
+         Field("frame", "int", "", "triggering frame index"),
+         Field("phase", "str", "", "'learning' or 'prediction' — the "
+               "phase being *entered*"),
+         Field("n_rtp", "int", "", "learned RTPs/frame (entering "
+               "prediction only)"),
+         Field("c_avg", "float", "GPU cycles", "learned cycles/RTP "
+               "(entering prediction only)"),
+         Field("actual_cycles", "int", "GPU cycles", "observed cycles of "
+               "the triggering frame")],
+        optional=("n_rtp", "c_avg")),
+    _spec(
+        "frpu_error", "core.frpu.FrameRatePredictor._log_error",
+        "Mid-frame prediction vs. the frame's actual cycles (Fig. 8).",
+        [Field("tick", "int", "tick", "frame completion time"),
+         Field("frame", "int", "", "frame index"),
+         Field("predicted_cycles", "float", "GPU cycles",
+               "Eq. 3 projection taken mid-frame (lambda in [0.25,0.75])"),
+         Field("actual_cycles", "float", "GPU cycles",
+               "observed natural frame time (throttle stall removed)"),
+         Field("error_pct", "float", "%",
+               "100 * (predicted - actual) / actual")]),
+    _spec(
+        "atu_update", "core.qos.QoSController.recompute",
+        "A recompute ran the Fig. 6 flow and refreshed (N_G, W_G).",
+        [Field("tick", "int", "tick", "recompute time"),
+         Field("ng", "int", "accesses", "burst allowance N_G"),
+         Field("wg_cycles", "float", "GPU cycles",
+               "port-disable window W_G"),
+         Field("c_p", "float", "GPU cycles", "predicted cycles/frame"),
+         Field("c_t", "float", "GPU cycles", "target cycles/frame at the "
+               "QoS rate"),
+         Field("a", "int", "", "learned LLC accesses/frame"),
+         Field("active", "int", "", "1 if the gate is installed after "
+               "this update")]),
+    _spec(
+        "gate", "core.qos.QoSController._enable/_disable",
+        "Throttle-gate edge: the ATU was installed on or removed from "
+        "the GPU's GTT ports.  Consecutive open/close pairs are spans.",
+        [Field("tick", "int", "tick", "edge time"),
+         Field("state", "str", "", "'open' (throttling) or 'closed'"),
+         Field("wg_cycles", "float", "GPU cycles",
+               "W_G at the edge (0 when closing)")]),
+    _spec(
+        "dram_priority", "core.qos / policies.dynprio / policies.dash",
+        "The DRAM access schedulers switched priority mode.",
+        [Field("tick", "int", "tick", "flip time"),
+         Field("mode", "str", "", "'cpu_boost'/'normal' (QoS boost, "
+               "Section III-C) or 'cpu_high'/'equal'/'gpu_high' "
+               "(DynPrio/DASH levels)"),
+         Field("source", "str", "", "who flipped it (qos, dynprio, dash)")]),
+    _spec(
+        "llc_interval", "telemetry.sampler.IntervalSampler",
+        "Periodic LLC state: occupancy split and per-side access/miss "
+        "deltas over the interval.",
+        [Field("tick", "int", "tick", "sample time"),
+         Field("cpu_lines", "int", "lines", "LLC lines owned by CPUs"),
+         Field("gpu_lines", "int", "lines", "LLC lines owned by the GPU"),
+         Field("cpu_accesses", "int", "", "CPU LLC accesses this interval"),
+         Field("gpu_accesses", "int", "", "GPU LLC accesses this interval"),
+         Field("cpu_misses", "int", "", "CPU LLC misses this interval"),
+         Field("gpu_misses", "int", "", "GPU LLC misses this interval")]),
+    _spec(
+        "dram_interval", "telemetry.sampler.IntervalSampler",
+        "Periodic DRAM state: per-side bandwidth shares and queue depth.",
+        [Field("tick", "int", "tick", "sample time"),
+         Field("cpu_bytes", "int", "bytes", "CPU data served this interval"),
+         Field("gpu_bytes", "int", "bytes", "GPU data served this interval"),
+         Field("queue_depth", "int", "requests",
+               "total pending requests across channels at the sample")]),
+    _spec(
+        "cpu_interval", "telemetry.sampler.IntervalSampler",
+        "Periodic CPU progress: committed instructions and interval IPC.",
+        [Field("tick", "int", "tick", "sample time"),
+         Field("instructions", "int", "", "instructions committed across "
+               "all cores this interval"),
+         Field("ipc", "float", "instr/cycle",
+               "interval IPC summed over cores (interval is in CPU "
+               "cycles: 1 tick = 1 cycle)")]),
+    _spec(
+        "policy", "policies.* (helm, tap, dash, cm-bal, drp)",
+        "A comparison policy changed an internal control signal.",
+        [Field("tick", "int", "tick", "decision time"),
+         Field("policy", "str", "", "policy name"),
+         Field("signal", "str", "", "which knob (e.g. 'tolerant', "
+               "'demote_gpu', 'urgent', 'concurrency_level', "
+               "'reuse_prob.texture')"),
+         Field("value", "float", "", "new value (booleans as 0/1)")]),
+]}
+
+
+#: stable CSV column order: 'type' plus every field, schema order,
+#: de-duplicated
+def csv_columns() -> list[str]:
+    cols: list[str] = ["type"]
+    seen = {"type"}
+    for spec in SCHEMA.values():
+        for f in spec.fields:
+            if f.name not in seen:
+                seen.add(f.name)
+                cols.append(f.name)
+    return cols
+
+
+def validate(etype: str, fields: dict) -> None:
+    """Raise ValueError on an unknown type or undeclared/missing field."""
+    spec = SCHEMA.get(etype)
+    if spec is None:
+        raise ValueError(f"unknown telemetry event type {etype!r}")
+    declared = {f.name for f in spec.fields}
+    names = set(fields)
+    unknown = names - declared
+    if unknown:
+        raise ValueError(
+            f"{etype}: undeclared field(s) {sorted(unknown)}; "
+            f"schema declares {sorted(declared)}")
+    missing = spec.required - names
+    if missing:
+        raise ValueError(f"{etype}: missing required field(s) "
+                         f"{sorted(missing)}")

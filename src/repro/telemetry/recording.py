@@ -1,0 +1,67 @@
+"""One-call recorded runs (the ``--telemetry PATH`` CLI path).
+
+A recorded run bypasses the result cache the same way ``--profile``
+does: the sink file is a side effect the cache could not replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.telemetry.core import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import RunResult
+
+
+def record_mix(mix_name: str, policy: str = "throtcpuprio",
+               scale: str = "smoke", seed: int = 1,
+               path: Optional[str] = None,
+               telemetry: Optional[Telemetry] = None
+               ) -> tuple["RunResult", Telemetry]:
+    """Run one mix with telemetry recording on.
+
+    Pass ``path`` to stream to a JSONL/CSV file, or a pre-built
+    ``telemetry`` (e.g. with custom sinks or sampling interval).
+    Returns ``(result, telemetry)``; the telemetry is closed.
+    """
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+    from repro.policies import make_policy
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    if telemetry is None:
+        telemetry = Telemetry.to_file(path) if path else Telemetry()
+    m = mix_by_name(mix_name)
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m, make_policy(policy),
+                                 telemetry=telemetry)
+    system.run()
+    telemetry.close()
+    return collect(system), telemetry
+
+
+def record_standalone(game: Optional[str] = None,
+                      spec: Optional[int] = None, scale: str = "smoke",
+                      seed: int = 1, path: Optional[str] = None,
+                      telemetry: Optional[Telemetry] = None
+                      ) -> tuple["RunResult", Telemetry]:
+    """Recorded standalone run (one GPU game or one SPEC application)."""
+    from repro.config import default_config
+    from repro.exec.specs import standalone_cpu_spec, standalone_gpu_spec
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    if (game is None) == (spec is None):
+        raise ValueError("need exactly one of game/spec")
+    if telemetry is None:
+        telemetry = Telemetry.to_file(path) if path else Telemetry()
+    spec_obj = standalone_gpu_spec(game, scale, seed) if game \
+        else standalone_cpu_spec(spec, scale, seed)
+    m = spec_obj.mix
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m, telemetry=telemetry)
+    system.run()
+    telemetry.close()
+    return collect(system), telemetry

@@ -1,0 +1,71 @@
+"""Interval sampling of shared-resource state for telemetry.
+
+The sampler is only scheduled when a :class:`~repro.telemetry.Telemetry`
+is bound to the system, so the default (telemetry-off) run's event
+stream is untouched.  Each tick of the sampler emits three records —
+``llc_interval``, ``dram_interval``, ``cpu_interval`` — carrying
+*deltas* over the interval, so per-interval bandwidth shares and IPC
+fall straight out of the file without post-hoc differencing.
+
+Sampling reads counters the components already maintain
+(:meth:`SharedLLC.interval_state`,
+:meth:`DramSystem.interval_state`, per-core ``instructions``); it
+mutates nothing, so a sampled run's stats are bit-identical to an
+unsampled one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import HeterogeneousSystem
+    from repro.telemetry.core import Telemetry
+
+
+class IntervalSampler:
+    def __init__(self, system: "HeterogeneousSystem", telemetry: "Telemetry",
+                 interval_ticks: int):
+        self.system = system
+        self.telemetry = telemetry
+        self.interval = interval_ticks
+        self._last_llc = system.llc.interval_state()
+        self._last_dram = system.dram.interval_state()
+        self._last_instr = self._instructions()
+        system.sim.after(interval_ticks, self._sample)
+
+    def _instructions(self) -> int:
+        return sum(c.instructions for c in self.system.cores)
+
+    def _sample(self) -> None:
+        s = self.system
+        tel = self.telemetry
+        now = s.sim.now
+
+        llc = s.llc.interval_state()
+        last = self._last_llc
+        tel.emit("llc_interval", tick=now,
+                 cpu_lines=llc["cpu_lines"], gpu_lines=llc["gpu_lines"],
+                 cpu_accesses=llc["cpu_accesses"] - last["cpu_accesses"],
+                 gpu_accesses=llc["gpu_accesses"] - last["gpu_accesses"],
+                 cpu_misses=llc["cpu_misses"] - last["cpu_misses"],
+                 gpu_misses=llc["gpu_misses"] - last["gpu_misses"])
+        self._last_llc = llc
+
+        dram = s.dram.interval_state()
+        dlast = self._last_dram
+        tel.emit("dram_interval", tick=now,
+                 cpu_bytes=dram["cpu_bytes"] - dlast["cpu_bytes"],
+                 gpu_bytes=dram["gpu_bytes"] - dlast["gpu_bytes"],
+                 queue_depth=dram["queue_depth"])
+        self._last_dram = dram
+
+        instr = self._instructions()
+        tel.emit("cpu_interval", tick=now,
+                 instructions=instr - self._last_instr,
+                 ipc=(instr - self._last_instr) / self.interval)
+        self._last_instr = instr
+
+        # keep sampling until the run stops; events scheduled past the
+        # stop are simply never executed
+        s.sim.after(self.interval, self._sample)

@@ -1,0 +1,79 @@
+"""Telemetry sinks: stream records to JSONL or CSV files.
+
+A sink receives each record as it is emitted (``write(record)``) and is
+flushed/closed by :meth:`repro.telemetry.Telemetry.close`.  Records are
+flat dicts that already passed schema validation; sinks never mutate
+them.
+
+``open_sink(path)`` picks the format from the extension: ``.jsonl`` /
+``.json`` -> one JSON object per line, ``.csv`` -> one row per record
+over the stable column set of :func:`repro.telemetry.events.csv_columns`
+(missing fields are empty cells).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+
+from repro.telemetry.events import csv_columns
+
+
+class JsonlSink:
+    """One compact JSON object per line, in emission order."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":"),
+                                  sort_keys=True))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class CsvSink:
+    """Fixed-column CSV; the header is the schema-wide column union."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8", newline="")
+        self._columns = csv_columns()
+        self._writer = csv.DictWriter(self._fh, fieldnames=self._columns,
+                                      restval="")
+        self._writer.writeheader()
+
+    def write(self, record: dict) -> None:
+        self._writer.writerow(record)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ListSink:
+    """In-memory sink (tests and ad-hoc probing)."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+def open_sink(path: str):
+    """Sink for ``path``, chosen by extension (default JSONL)."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".csv":
+        return CsvSink(path)
+    return JsonlSink(path)

@@ -66,6 +66,28 @@ def test_snapshot_includes_accumulators():
                             "queue_lat_total": 2}
 
 
+def test_as_dict_empty_accumulator_no_zero_division():
+    """Regression: as_dict()'s derived mean must not divide by zero for
+    an accumulator that never received a sample (e.g. the write-latency
+    accumulator of a read-only run)."""
+    s = StatSet("dram")
+    s.accumulator("write_lat")         # registered, never add()ed
+    d = s.as_dict()                    # must not raise ZeroDivisionError
+    assert d["write_lat_n"] == 0
+    assert d["write_lat_total"] == 0
+    assert d["write_lat_mean"] == 0.0
+    assert "write_lat_min" not in d and "write_lat_max" not in d
+
+    class NoGuard(Accumulator):
+        """An override without the n==0 guard (the historical bug)."""
+        @property
+        def mean(self):                # pragma: no cover - trivially wrong
+            return self.total / self.n
+
+    s._accs["bad"] = NoGuard("bad")
+    assert s.as_dict()["bad_mean"] == 0.0
+
+
 def test_as_dict_derives_mean_min_max():
     s = StatSet("x")
     a = s.accumulator("lat")

@@ -1,0 +1,46 @@
+"""Telemetry is observation, not intervention.
+
+A run with a Telemetry attached must produce the *bit-identical*
+RunResult of the same run without one: every emitting site only reads
+simulator state, and the interval sampler's events never touch it.
+This is the acceptance gate for the zero-cost-when-off contract — if a
+future emitter perturbs ordering or state, these comparisons fail.
+"""
+
+from repro.config import default_config
+from repro.mixes import mix
+from repro.policies import make_policy
+from repro.sim.runner import run_system
+from repro.telemetry import Telemetry
+
+
+def _run(mix_name: str, policy: str, telemetry=None):
+    m = mix(mix_name)
+    cfg = default_config(scale="smoke", n_cpus=m.n_cpus, seed=1)
+    return run_system(cfg, m, make_policy(policy), telemetry=telemetry)
+
+
+def test_throttle_run_identical_with_and_without_telemetry():
+    plain = _run("W8", "throtcpuprio")
+    tel = Telemetry()
+    recorded = _run("W8", "throtcpuprio", telemetry=tel)
+    tel.close()
+    assert tel.count() > 0             # the recording actually happened
+    assert recorded == plain           # full dataclass equality
+    assert recorded.ticks == plain.ticks
+    assert recorded.cpu_ipcs == plain.cpu_ipcs
+    assert recorded.qos == plain.qos
+
+
+def test_dynprio_run_identical_with_and_without_telemetry():
+    plain = _run("M7", "dynprio")
+    tel = Telemetry()
+    recorded = _run("M7", "dynprio", telemetry=tel)
+    tel.close()
+    assert tel.count("dram_priority") > 0
+    assert recorded == plain
+
+
+def test_plain_runs_are_reproducible():
+    """Baseline determinism the two tests above lean on."""
+    assert _run("W8", "throtcpuprio") == _run("W8", "throtcpuprio")

@@ -1,0 +1,74 @@
+"""The record schema is the contract — drift must fail loudly."""
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import SCHEMA, csv_columns, validate
+
+
+def test_every_spec_documents_itself():
+    for etype, spec in SCHEMA.items():
+        assert spec.etype == etype
+        assert spec.site and spec.doc
+        names = [f.name for f in spec.fields]
+        assert len(names) == len(set(names)), f"{etype}: duplicate field"
+        assert "tick" in names, f"{etype}: every event carries a tick"
+        assert spec.required <= set(names)
+        for f in spec.fields:
+            assert f.kind in ("int", "float", "str"), (etype, f.name)
+            assert f.doc, f"{etype}.{f.name}: undocumented field"
+
+
+def test_csv_columns_stable_and_unique():
+    cols = csv_columns()
+    assert cols[0] == "type"
+    assert len(cols) == len(set(cols))
+    for spec in SCHEMA.values():
+        for f in spec.fields:
+            assert f.name in cols
+    assert cols == csv_columns()       # deterministic
+
+
+def test_validate_unknown_type():
+    with pytest.raises(ValueError, match="unknown telemetry event type"):
+        validate("nope", {"tick": 0})
+
+
+def test_validate_undeclared_field():
+    with pytest.raises(ValueError, match="undeclared"):
+        validate("gate", {"tick": 0, "state": "open", "wg_cycles": 1.0,
+                          "bogus": 1})
+
+
+def test_validate_missing_required():
+    with pytest.raises(ValueError, match="missing required"):
+        validate("gate", {"tick": 0})
+
+
+def test_validate_optional_fields_may_be_absent():
+    # frpu_phase: n_rtp / c_avg only appear when entering prediction
+    validate("frpu_phase", {"tick": 5, "frame": 2, "phase": "learning",
+                            "actual_cycles": 1000})
+    validate("frpu_phase", {"tick": 5, "frame": 2, "phase": "prediction",
+                            "n_rtp": 4, "c_avg": 250.0,
+                            "actual_cycles": 1000})
+
+
+def test_telemetry_emit_validates_and_counts():
+    tel = Telemetry(sample_interval_ticks=0)
+    tel.emit("gate", tick=10, state="open", wg_cycles=32.0)
+    tel.emit("gate", tick=20, state="closed", wg_cycles=0.0)
+    with pytest.raises(ValueError):
+        tel.emit("gate", tick=30)      # missing required fields
+    assert tel.count("gate") == 2
+    assert tel.count() == 2
+    assert tel.counts() == {"gate": 2}
+    assert [r["tick"] for r in tel.records] == [10, 20]
+
+
+def test_telemetry_close_is_final():
+    tel = Telemetry(sample_interval_ticks=0)
+    tel.close()
+    tel.close()                        # idempotent
+    with pytest.raises(RuntimeError):
+        tel.emit("gate", tick=0, state="open", wg_cycles=1.0)

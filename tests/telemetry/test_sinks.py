@@ -1,0 +1,73 @@
+"""Sink round-trips: what goes in comes back out, typed."""
+
+import csv
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import csv_columns
+from repro.telemetry.sinks import ListSink, open_sink
+from repro.analysis.timeline import load_records
+
+RECORDS = [
+    ("frame", dict(tick=100, frame=0, cycles=5000, llc_accesses=1200,
+                   throttle_cycles=0, n_rtps=4)),
+    ("gate", dict(tick=150, state="open", wg_cycles=32.5)),
+    ("dram_priority", dict(tick=150, mode="cpu_boost", source="qos")),
+    ("gate", dict(tick=220, state="closed", wg_cycles=0.0)),
+]
+
+
+def _emit_all(tel):
+    for etype, fields in RECORDS:
+        tel.emit(etype, **fields)
+    tel.close()
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "run.jsonl")
+    _emit_all(Telemetry.to_file(path))
+    got = load_records(path)
+    assert got == [{"type": t, **f} for t, f in RECORDS]
+    # one compact JSON object per line, keys sorted (stable diffs)
+    lines = open(path).read().splitlines()
+    assert len(lines) == len(RECORDS)
+    keys = list(json.loads(lines[0]))
+    assert keys == sorted(keys)
+
+
+def test_csv_round_trip_restores_types(tmp_path):
+    path = str(tmp_path / "run.csv")
+    _emit_all(Telemetry.to_file(path))
+    with open(path, newline="") as fh:
+        header = next(csv.reader(fh))
+    assert header == csv_columns()
+    got = load_records(path)
+    assert got == [{"type": t, **f} for t, f in RECORDS]
+    assert isinstance(got[0]["cycles"], int)
+    assert isinstance(got[1]["wg_cycles"], float)
+
+
+def test_open_sink_picks_format(tmp_path):
+    assert type(open_sink(str(tmp_path / "a.csv"))).__name__ == "CsvSink"
+    assert type(open_sink(str(tmp_path / "a.jsonl"))).__name__ == "JsonlSink"
+    assert type(open_sink(str(tmp_path / "a.log"))).__name__ == "JsonlSink"
+
+
+def test_list_sink_and_multiple_sinks(tmp_path):
+    ls = ListSink()
+    tel = Telemetry(sample_interval_ticks=0)
+    tel.add_sink(ls)
+    tel.add_sink(open_sink(str(tmp_path / "b.jsonl")))
+    _emit_all(tel)
+    assert len(ls.records) == len(RECORDS)
+    assert len(load_records(str(tmp_path / "b.jsonl"))) == len(RECORDS)
+
+
+def test_unbuffered_telemetry_streams_only(tmp_path):
+    ls = ListSink()
+    tel = Telemetry(sample_interval_ticks=0, buffer=False)
+    tel.add_sink(ls)
+    _emit_all(tel)
+    assert tel.records == []           # nothing held in memory
+    assert len(ls.records) == len(RECORDS)
+    assert tel.count() == len(RECORDS)  # counts still maintained

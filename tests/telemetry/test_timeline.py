@@ -1,0 +1,110 @@
+"""Unit tests for the timeline derivations (synthetic recordings)."""
+
+import pytest
+
+from repro.analysis.timeline import Timeline
+
+
+def _records():
+    return [
+        {"type": "run_meta", "tick": 0, "mix": "M7",
+         "policy": "throtcpuprio", "scale": "test", "seed": 1,
+         "n_cpus": 4, "gpu_app": "COD2"},
+        {"type": "frame", "tick": 1000, "frame": 0, "cycles": 250,
+         "llc_accesses": 40, "throttle_cycles": 0, "n_rtps": 4},
+        {"type": "frpu_phase", "tick": 1000, "frame": 0,
+         "phase": "prediction", "n_rtp": 4, "c_avg": 62.5,
+         "actual_cycles": 250},
+        {"type": "gate", "tick": 1200, "state": "open", "wg_cycles": 16.0},
+        {"type": "frpu_error", "tick": 2000, "frame": 1,
+         "predicted_cycles": 260.0, "actual_cycles": 250.0,
+         "error_pct": 4.0},
+        {"type": "frame", "tick": 2000, "frame": 1, "cycles": 250,
+         "llc_accesses": 42, "throttle_cycles": 30, "n_rtps": 4},
+        {"type": "gate", "tick": 2600, "state": "closed", "wg_cycles": 0.0},
+        {"type": "frame", "tick": 3000, "frame": 2, "cycles": 240,
+         "llc_accesses": 41, "throttle_cycles": 0, "n_rtps": 4},
+    ]
+
+
+def test_indexing_and_meta():
+    tl = Timeline(_records())
+    assert len(tl) == 8
+    assert tl.meta["mix"] == "M7"
+    assert len(tl.events("frame")) == 3
+    assert tl.events("nonexistent") == []
+    assert tl.span_ticks == 3000
+
+
+def test_gate_spans_and_duty_cycle():
+    tl = Timeline(_records())
+    assert tl.gate_spans() == [(1200, 2600)]
+    assert tl.gating_duty_cycle() == pytest.approx(1400 / 3000)
+
+
+def test_gate_left_open_closes_at_recording_end():
+    recs = [r for r in _records() if not
+            (r["type"] == "gate" and r["state"] == "closed")]
+    tl = Timeline(recs)
+    assert tl.gate_spans() == [(1200, 3000)]
+
+
+def test_per_frame_table_joins_streams():
+    rows = Timeline(_records()).per_frame_table()
+    assert [row["frame"] for row in rows] == [0, 1, 2]
+    assert rows[0]["phase"] == "prediction"
+    assert rows[0]["error_pct"] is None
+    assert rows[1]["error_pct"] == 4.0
+    assert rows[1]["predicted_cycles"] == 260.0
+    assert rows[1]["throttle_cycles"] == 30
+    # gate open 1200-2600: overlaps frames 1 (1000-2000) and 2 (2000-3000)
+    assert [row["gated"] for row in rows] == [0, 1, 1]
+
+
+def test_summary_digest():
+    s = Timeline(_records()).summary()
+    assert s["frames"] == 3
+    assert s["records"] == 8
+    assert s["frpu_predictions"] == 1
+    assert s["frpu_mean_abs_error_pct"] == 4.0
+    assert s["gate_spans"] == 1
+    assert s["mix"] == "M7"
+
+
+def test_empty_timeline():
+    tl = Timeline([])
+    assert tl.span_ticks == 0
+    assert tl.gating_duty_cycle() == 0.0
+    assert tl.per_frame_table() == []
+    assert tl.summary()["frames"] == 0
+    assert tl.format_table().startswith("frame")
+
+
+def test_format_table_truncates():
+    recs = [{"type": "frame", "tick": 100 * (i + 1), "frame": i,
+             "cycles": 10, "llc_accesses": 1, "throttle_cycles": 0,
+             "n_rtps": 1} for i in range(50)]
+    text = Timeline(recs).format_table(max_rows=10)
+    assert "40 more frame(s)" in text
+
+
+def test_plots_render_when_matplotlib_available(tmp_path):
+    pytest.importorskip("matplotlib", reason="plots need matplotlib")
+    from repro.analysis.timeline import (plot_gating_vs_ipc,
+                                         plot_prediction_error)
+    tl = Timeline(_records())
+    out = plot_prediction_error(tl, str(tmp_path / "err.png"))
+    assert (tmp_path / "err.png").exists() and out.endswith("err.png")
+    plot_gating_vs_ipc(tl, str(tmp_path / "gate.png"))
+    assert (tmp_path / "gate.png").exists()
+
+
+def test_plot_error_message_without_matplotlib():
+    try:
+        import matplotlib  # noqa: F401
+        pytest.skip("matplotlib installed; gating path not reachable")
+    except ImportError:
+        pass
+    from repro.analysis.timeline import plot_prediction_error
+    with pytest.raises(RuntimeError, match="matplotlib"):
+        plot_prediction_error(Timeline(_records()), "/tmp/x.png")

@@ -19,7 +19,13 @@ Also measured, with methodology recorded in the JSON:
   numbers where callback work, not the kernel, dominates;
 * profiling overhead (the opt-in layer must cost nothing when off —
   the fast path IS the default benchmarked path — and its enabled cost
-  is reported).
+  is reported);
+* span-tracing overhead (``spans_off``) — the dormant stamp hooks
+  (``req.span is None`` guards through core/LLC/ring/DRAM) must not
+  slow the spans-off full-system path.  The gate normalises wall time
+  by the same invocation's micro ns/event, so it compares machine-
+  independent "equivalent kernel events" against the committed
+  baseline; ``--check`` fails on >5% regression.
 
 Usage::
 
@@ -27,7 +33,8 @@ Usage::
     PYTHONPATH=src python scripts/bench_kernel.py --quick    # fewer reps
     PYTHONPATH=src python scripts/bench_kernel.py --check    # CI gate:
         # re-measure (quick) and fail if the headline micro speedup
-        # regressed >30% vs the committed BENCH_kernel.json
+        # regressed >30%, or the spans-off full-system path slowed
+        # >5%, vs the committed BENCH_kernel.json
 
 The headline number (``micro_speedup_geomean``) is the geometric mean of
 the per-scenario old/new ns-per-event ratios; acceptance is >= 1.5x.
@@ -181,6 +188,44 @@ def bench_macro(mixes, reps: int) -> dict:
     return out
 
 
+def bench_spans(micro_new_ns: float, reps: int) -> dict:
+    """Span-tracing overhead on the full system (smoke scale, W8).
+
+    ``off`` is the default path: every stamp site is a dormant
+    ``req.span is None`` guard, and the gate requires it to stay within
+    5% of the committed baseline.  Raw wall time is machine-dependent,
+    so the recorded gate value is the run expressed in *equivalent
+    kernel events* — off seconds divided by the same invocation's micro
+    ``hetero_dense`` ns/event — which cancels host speed.  The enabled
+    cost (1-in-64 sampling) is reported for honesty, not gated.
+    """
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+    from repro.sim.system import HeterogeneousSystem
+    from repro.spans import SpanTracer
+
+    def once(tracer=None):
+        m = mix_by_name("W8")
+        cfg = default_config(scale="smoke", n_cpus=m.n_cpus, seed=1)
+        system = HeterogeneousSystem(cfg, m, tracer=tracer)
+        t0 = time.perf_counter()
+        system.run()
+        elapsed = time.perf_counter() - t0
+        if tracer is not None:
+            tracer.close()
+        return elapsed
+
+    off = min(once() for _ in range(reps))
+    on = min(once(SpanTracer(sample_every=64)) for _ in range(reps))
+    norm = off * 1e9 / micro_new_ns
+    print(f"  spans off {off:6.3f}s  on(1/64) {on:6.3f}s   enabled "
+          f"overhead {on / off:.2f}x   off = {norm:,.0f} equiv events")
+    return {"off_seconds": round(off, 3),
+            "on_seconds": round(on, 3),
+            "enabled_overhead": round(on / off, 2),
+            "off_equivalent_events": round(norm)}
+
+
 def run_bench(quick: bool) -> dict:
     n_events = 100_000 if quick else 400_000
     reps = 2 if quick else 3
@@ -195,6 +240,9 @@ def run_bench(quick: bool) -> dict:
     print("macro (full system, callback-dominated):")
     macro = bench_macro(["W8"] if quick else ["W8", "M7"],
                         1 if quick else 2)
+    print("span tracing (full system, W8 smoke):")
+    spans = bench_spans(micro["hetero_dense"]["new_ns_per_event"],
+                        max(reps, 3))
     geomean = round(math.exp(statistics.fmean(
         math.log(s["speedup"]) for s in micro.values())), 2)
     print(f"headline micro speedup (geomean): {geomean}x")
@@ -217,6 +265,7 @@ def run_bench(quick: bool) -> dict:
         "closure_vs_closure_free": closures,
         "profiling": prof,
         "macro_full_system": macro,
+        "spans_off": spans,
     }
 
 
@@ -238,16 +287,33 @@ def main(argv=None) -> int:
         if not BASELINE.exists():
             print(f"no committed baseline at {BASELINE}", file=sys.stderr)
             return 2
-        base = json.loads(BASELINE.read_text())["micro_speedup_geomean"]
+        baseline = json.loads(BASELINE.read_text())
+        ok = True
+
+        base = baseline["micro_speedup_geomean"]
         now = result["micro_speedup_geomean"]
         floor = 0.7 * base
-        verdict = "OK" if now >= floor else "REGRESSION"
-        print(f"check: measured {now}x vs baseline {base}x "
-              f"(floor {floor:.2f}x) -> {verdict}")
+        micro_ok = now >= floor
+        ok = ok and micro_ok
+        print(f"check[micro]: measured {now}x vs baseline {base}x "
+              f"(floor {floor:.2f}x) -> "
+              f"{'OK' if micro_ok else 'REGRESSION'}")
+
+        base_spans = baseline.get("spans_off")
+        if base_spans:
+            base_ev = base_spans["off_equivalent_events"]
+            now_ev = result["spans_off"]["off_equivalent_events"]
+            ceiling = 1.05 * base_ev
+            spans_ok = now_ev <= ceiling
+            ok = ok and spans_ok
+            print(f"check[spans_off]: measured {now_ev:,} equiv events "
+                  f"vs baseline {base_ev:,} (ceiling {ceiling:,.0f}) -> "
+                  f"{'OK' if spans_ok else 'REGRESSION'}")
+
         out = Path(args.out) if args.out else None
         if out:
             out.write_text(json.dumps(result, indent=2) + "\n")
-        return 0 if now >= floor else 1
+        return 0 if ok else 1
 
     out = Path(args.out) if args.out else BASELINE
     out.write_text(json.dumps(result, indent=2) + "\n")

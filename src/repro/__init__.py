@@ -12,6 +12,8 @@ experiment runners returning :class:`RunResult`.
 "cm-bal", "throttle", "throtcpuprio" (the proposal).
 ``QoSController`` / ``FrameRatePredictor`` / ``AccessThrottlingUnit`` —
 the paper's mechanism, usable standalone.
+``SpanTracer`` / ``trace_mix`` / ``trace_standalone`` — request-path
+span tracing with latency percentiles (docs/latency.md).
 """
 
 from repro.config import (SystemConfig, Scale, SCALES, default_config,
@@ -30,6 +32,7 @@ from repro.sim.system import HeterogeneousSystem
 from repro.analysis.diagnostics import Probe
 from repro.analysis.energy import EnergyParams, EnergyReport, price_run
 from repro.analysis.stats import Replicated, replicate, summarize
+from repro.spans import SpanTracer, trace_mix, trace_standalone
 from repro.telemetry import Telemetry, record_mix, record_standalone
 from repro.tracing import LlcTrace, TraceRecorder, TraceReplayer
 
@@ -47,6 +50,7 @@ __all__ = [
     "alone_ipcs", "weighted_speedup_for", "HeterogeneousSystem",
     "Probe", "EnergyParams", "EnergyReport", "price_run",
     "Replicated", "replicate", "summarize",
+    "SpanTracer", "trace_mix", "trace_standalone",
     "Telemetry", "record_mix", "record_standalone",
     "LlcTrace", "TraceRecorder", "TraceReplayer",
     "__version__",

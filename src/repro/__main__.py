@@ -7,6 +7,8 @@ Examples::
     python -m repro standalone --spec 429
     python -m repro compare --mix M7 --policies baseline,throtcpuprio
     python -m repro compare --mix M7 --policies baseline,sms-0.9 --jobs 4
+    python -m repro run --mix W8 --trace-spans spans.jsonl --span-sample 64
+    python -m repro latency --spans spans.jsonl --compare other.jsonl
     python -m repro list
     python -m repro report --experiment fig9 --scale smoke
     python -m repro cache            # show cache location / size / salt
@@ -71,6 +73,16 @@ def cmd_run(args) -> int:
         print(f"  wall time: {time.time()-t0:.1f}s")
         print(prof.report())
         return 0
+    if args.trace_spans:
+        from repro.spans import trace_mix
+        r, tracer = trace_mix(args.mix, args.policy, scale=args.scale,
+                              seed=args.seed, path=args.trace_spans,
+                              sample_every=args.span_sample)
+        _print_result(r, args.scale)
+        print(f"  spans: {tracer.finished} -> {args.trace_spans}")
+        print(f"  wall time: {time.time()-t0:.1f}s")
+        print(tracer.format_report())
+        return 0
     if args.telemetry:
         from repro.telemetry import record_mix
         r, tel = record_mix(args.mix, args.policy, scale=args.scale,
@@ -90,10 +102,18 @@ def cmd_standalone(args) -> int:
         print("need --game or --spec", file=sys.stderr)
         return 2
     tel = None
+    tracer = None
     if args.profile:
         from repro.prof import profile_standalone
         r, prof = profile_standalone(game=args.game, spec=args.spec,
                                      scale=args.scale, seed=args.seed)
+    elif args.trace_spans:
+        from repro.spans import trace_standalone
+        prof = None
+        r, tracer = trace_standalone(game=args.game, spec=args.spec,
+                                     scale=args.scale, seed=args.seed,
+                                     path=args.trace_spans,
+                                     sample_every=args.span_sample)
     elif args.telemetry:
         from repro.telemetry import record_standalone
         prof = None
@@ -115,6 +135,9 @@ def cmd_standalone(args) -> int:
         print(prof.report())
     if tel is not None:
         _print_telemetry(tel, args.telemetry)
+    if tracer is not None:
+        print(f"  spans: {tracer.finished} -> {args.trace_spans}")
+        print(tracer.format_report())
     return 0
 
 
@@ -196,6 +219,18 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_latency(args) -> int:
+    """Analyse a --trace-spans recording (optionally vs a second one)."""
+    from repro.analysis.latency import SpanReport, format_comparison
+    rep = SpanReport.load(args.spans)
+    print(rep.format_report())
+    if args.compare:
+        other = SpanReport.load(args.compare)
+        print()
+        print(format_comparison(rep, other, side=args.side))
+    return 0
+
+
 def cmd_cache(args) -> int:
     """Inspect or clear the persistent result cache."""
     from repro.exec import shared_cache
@@ -237,6 +272,11 @@ def main(argv=None) -> int:
                    help="record control-loop telemetry to PATH "
                         "(.jsonl or .csv; bypasses cache; see "
                         "docs/telemetry.md)")
+    p.add_argument("--trace-spans", metavar="PATH",
+                   help="sample request-path spans to PATH (.jsonl; "
+                        "bypasses cache; see docs/latency.md)")
+    p.add_argument("--span-sample", type=int, default=64, metavar="N",
+                   help="trace 1-in-N eligible requests (default 64)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("standalone", help="run one app alone")
@@ -247,6 +287,11 @@ def main(argv=None) -> int:
     p.add_argument("--telemetry", metavar="PATH",
                    help="record control-loop telemetry to PATH "
                         "(.jsonl or .csv; bypasses cache)")
+    p.add_argument("--trace-spans", metavar="PATH",
+                   help="sample request-path spans to PATH (.jsonl; "
+                        "bypasses cache; see docs/latency.md)")
+    p.add_argument("--span-sample", type=int, default=64, metavar="N",
+                   help="trace 1-in-N eligible requests (default 64)")
     p.set_defaults(fn=cmd_standalone)
 
     p = sub.add_parser("compare", help="compare policies on one mix")
@@ -266,6 +311,16 @@ def main(argv=None) -> int:
     p.add_argument("--mix", default="M7")
     p.add_argument("--out", default="trace.npz")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("latency",
+                       help="analyse a --trace-spans recording")
+    p.add_argument("--spans", required=True, metavar="PATH",
+                   help="span stream from --trace-spans")
+    p.add_argument("--compare", metavar="PATH",
+                   help="second recording to diff stage shares against")
+    p.add_argument("--side", default="cpu", choices=["cpu", "gpu"],
+                   help="side for the --compare share table")
+    p.set_defaults(fn=cmd_latency)
 
     p = sub.add_parser("sweep", help="QoS-target sweep on one mix")
     p.add_argument("--mix", default="M7")

@@ -1,0 +1,241 @@
+"""Offline analysis of span streams (``--trace-spans`` output).
+
+Loads a JSONL span stream back into typed records and derives the
+latency-attribution views the paper's mechanism story needs
+(Sections III-V: *where* do CPU requests wait, and how does GPU
+throttling change that):
+
+* :meth:`SpanReport.stage_table` — per-source stage breakdown
+  (n / mean / p50 / p95 / p99 / share of total cycles) rebuilt from the
+  recorded spans with the same log2 histograms the live tracer uses.
+* :meth:`SpanReport.class_mix` — hit / miss / merge / queued-hit span
+  counts per source.
+* :meth:`SpanReport.queue_timeline` — time-bucketed means of one
+  occupancy gauge (MSHR fill, per-bank DRAM queue depth, ring backlog).
+* :func:`compare` — side-by-side stage shares of two recordings
+  (e.g. baseline vs. throttled), the worked example in docs/latency.md.
+
+Usage::
+
+    from repro.analysis.latency import SpanReport
+    rep = SpanReport.load("spans.jsonl")
+    print(rep.format_report())
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.spans.histogram import Histogram
+from repro.spans.tracer import METRICS, stage_durations
+
+
+def load_rows(path: str) -> list[dict]:
+    """Read a span-stream JSONL file into row dicts."""
+    rows: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+class SpanReport:
+    """A span recording, indexed for latency attribution."""
+
+    def __init__(self, rows: Iterable[dict]):
+        self.meta: dict = {}
+        self.spans: list[dict] = []
+        self.gauge_rows: list[dict] = []
+        for r in rows:
+            t = r.get("t")
+            if t == "span":
+                self.spans.append(r)
+            elif t == "gauge":
+                self.gauge_rows.append(r)
+            elif t == "meta":
+                self.meta = r
+        #: (side, metric) -> Histogram, rebuilt from the recorded spans
+        self.hists: dict[tuple[str, str], Histogram] = {}
+        #: (side, cls) -> span count
+        self.classes: dict[tuple[str, str], int] = {}
+        for sp in self.spans:
+            side = "gpu" if sp["src"] == "gpu" else "cpu"
+            cls, durs = stage_durations([(s, t) for s, t in sp["stages"]])
+            key = (side, cls)
+            self.classes[key] = self.classes.get(key, 0) + 1
+            for metric, val in durs.items():
+                h = self.hists.get((side, metric))
+                if h is None:
+                    h = self.hists[(side, metric)] = Histogram()
+                h.record(val)
+
+    @classmethod
+    def load(cls, path: str) -> "SpanReport":
+        return cls(load_rows(path))
+
+    @classmethod
+    def from_tracer(cls, tracer) -> "SpanReport":
+        """Adopt a live tracer's registry (no file round-trip).
+
+        Only the histogram/meta views are available — per-span rows are
+        not retained in memory by the tracer.
+        """
+        rep = cls([])
+        rep.meta = dict(tracer.meta)
+        rep.hists = dict(tracer.hists)
+        return rep
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- stage attribution ---------------------------------------------------
+
+    def stage_table(self, side: str) -> list[dict]:
+        """One row per duration metric for one side, in METRICS order.
+
+        ``share`` is the metric's summed cycles over the side's summed
+        ``total`` cycles — for misses the stage metrics partition
+        ``total``, so shares answer "where did the cycles go".
+        """
+        total = self.hists.get((side, "total"))
+        denom = total.total if total is not None else 0
+        rows: list[dict] = []
+        for metric in METRICS:
+            h = self.hists.get((side, metric))
+            if h is None:
+                continue
+            rows.append({
+                "metric": metric, "n": h.n, "mean": round(h.mean, 1),
+                "p50": h.percentile(50), "p95": h.percentile(95),
+                "p99": h.percentile(99),
+                "share": (round(h.total / denom, 4)
+                          if denom and metric != "total" else None)})
+        return rows
+
+    def class_mix(self, side: str) -> dict[str, int]:
+        """Span counts by class (hit/miss/merge/queued_hit/open)."""
+        return {cls: n for (s, cls), n in sorted(self.classes.items())
+                if s == side}
+
+    def stage_share(self, side: str, metric: str) -> float:
+        """One metric's share of the side's total recorded cycles."""
+        total = self.hists.get((side, "total"))
+        h = self.hists.get((side, metric))
+        if total is None or h is None or not total.total:
+            return 0.0
+        return h.total / total.total
+
+    # -- occupancy timelines -------------------------------------------------
+
+    def gauge_names(self) -> list[str]:
+        return sorted({r["name"] for r in self.gauge_rows})
+
+    def queue_timeline(self, name: str, buckets: int = 20,
+                       facet: Optional[str] = None) -> list[dict]:
+        """Time-bucketed means of one gauge's observations.
+
+        Returns rows ``{"tick", "mean", "max", "n"}`` (bucket start
+        tick); with ``facet`` (``"ch"`` or ``"bank"``) the rows carry
+        the facet value and each facet is bucketed separately.
+        """
+        rows = [r for r in self.gauge_rows if r["name"] == name]
+        if not rows:
+            return []
+        lo = min(r["tick"] for r in rows)
+        hi = max(r["tick"] for r in rows)
+        width = max((hi - lo) // buckets + 1, 1)
+        acc: dict[tuple, list[int]] = {}
+        for r in rows:
+            b = (r["tick"] - lo) // width
+            key = (r.get(facet), b) if facet else (None, b)
+            acc.setdefault(key, []).append(r["v"])
+        out: list[dict] = []
+        for (fv, b), vals in sorted(acc.items(),
+                                    key=lambda kv: (str(kv[0][0]),
+                                                    kv[0][1])):
+            row = {"tick": lo + b * width,
+                   "mean": round(sum(vals) / len(vals), 2),
+                   "max": max(vals), "n": len(vals)}
+            if facet:
+                row[facet] = fv
+            out.append(row)
+        return out
+
+    # -- rendering -----------------------------------------------------------
+
+    def format_report(self, max_timeline_rows: int = 12) -> str:
+        """The CLI's per-source stage breakdown + occupancy digest."""
+        lines = []
+        head = "latency report"
+        if self.meta:
+            head += (f" — mix={self.meta.get('mix')} "
+                     f"policy={self.meta.get('policy')} "
+                     f"scale={self.meta.get('scale')} "
+                     f"(1-in-{self.meta.get('sample')} sampling)")
+        lines.append(head)
+        lines.append(f"  spans: {len(self.spans)}")
+        for side in ("cpu", "gpu"):
+            table = self.stage_table(side)
+            if not table:
+                continue
+            mix = self.class_mix(side)
+            mix_str = " ".join(f"{c}={n}" for c, n in mix.items())
+            lines.append(f"  {side} ({mix_str}):")
+            lines.append(f"    {'stage':12s} {'n':>8s} {'mean':>9s} "
+                         f"{'p50':>7s} {'p95':>7s} {'p99':>7s} "
+                         f"{'share':>6s}")
+            for row in table:
+                share = (f"{100.0 * row['share']:5.1f}%"
+                         if row["share"] is not None else "     -")
+                lines.append(
+                    f"    {row['metric']:12s} {row['n']:8d} "
+                    f"{row['mean']:9.1f} {row['p50']:7d} {row['p95']:7d} "
+                    f"{row['p99']:7d} {share:>6s}")
+        names = self.gauge_names()
+        if names:
+            lines.append("  occupancy timelines (bucket means):")
+            for name in names:
+                tl = self.queue_timeline(name, buckets=max_timeline_rows)
+                peak = max((r["max"] for r in tl), default=0)
+                curve = " ".join(f"{r['mean']:.0f}" for r in tl)
+                lines.append(f"    {name:16s} peak {peak:5d}  [{curve}]")
+        return "\n".join(lines)
+
+
+def compare(a: SpanReport, b: SpanReport,
+            side: str = "cpu") -> list[dict]:
+    """Stage-share deltas between two recordings (a -> b).
+
+    The paper's claim in span terms: under GPU throttling the CPU's
+    ``dram_queue`` share should fall versus baseline.  Rows:
+    ``{"metric", "a_share", "b_share", "delta"}``.
+    """
+    rows: list[dict] = []
+    for metric in METRICS:
+        if metric == "total":
+            continue
+        sa = round(a.stage_share(side, metric), 4)
+        sb = round(b.stage_share(side, metric), 4)
+        if sa == 0.0 and sb == 0.0:
+            continue
+        rows.append({"metric": metric, "a_share": sa, "b_share": sb,
+                     "delta": round(sb - sa, 4)})
+    return rows
+
+
+def format_comparison(a: SpanReport, b: SpanReport,
+                      side: str = "cpu") -> str:
+    """Render :func:`compare` with the recordings' policy names."""
+    pa = a.meta.get("policy", "a")
+    pb = b.meta.get("policy", "b")
+    lines = [f"{side} stage shares: {pa} vs {pb}",
+             f"  {'stage':12s} {pa:>12s} {pb:>12s} {'delta':>8s}"]
+    for row in compare(a, b, side):
+        lines.append(f"  {row['metric']:12s} "
+                     f"{100 * row['a_share']:11.1f}% "
+                     f"{100 * row['b_share']:11.1f}% "
+                     f"{100 * row['delta']:+7.1f}%")
+    return "\n".join(lines)

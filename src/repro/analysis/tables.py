@@ -82,6 +82,45 @@ def table3() -> list[dict]:
     return rows
 
 
+def latency_table(mix_names=None, policies=("baseline", "throtcpuprio"),
+                  scale: str = "test", seed: int = 1) -> list[dict]:
+    """LLC read round-trip latency per side, mix x policy.
+
+    One row per (mix, policy) from the always-on
+    :attr:`RunResult.llc_latency` aggregates (created_at -> data
+    return, CPU ticks): mean and log2-bucket p95 for each side.  The
+    paper's mechanism in one table — throttling policies should cut
+    the CPU columns on memory-heavy mixes while the GPU columns rise.
+    """
+    from repro.exec import mix_spec, run_many
+    if mix_names is None:
+        mix_names = sorted(MIXES_W, key=lambda n: int(n[1:]))
+    specs = [mix_spec(m, pol, scale, seed)
+             for m in mix_names for pol in policies]
+    rows = []
+    for spec, out in zip(specs, run_many(specs)):
+        lat = out.result.llc_latency if out.ok else {}
+        rows.append({
+            "mix": spec.resolved_mix().name, "policy": spec.policy,
+            "cpu_mean": lat.get("cpu_mean", 0.0),
+            "cpu_p95": lat.get("cpu_p95", 0.0),
+            "gpu_mean": lat.get("gpu_mean", 0.0),
+            "gpu_p95": lat.get("gpu_p95", 0.0),
+        })
+    return rows
+
+
+def format_latency_table(rows) -> str:
+    """Render :func:`latency_table` rows for the CLI/notebooks."""
+    lines = [f"{'mix':6s} {'policy':14s} {'cpu mean':>9s} {'cpu p95':>8s} "
+             f"{'gpu mean':>9s} {'gpu p95':>8s}"]
+    for r in rows:
+        lines.append(f"{r['mix']:6s} {r['policy']:14s} "
+                     f"{r['cpu_mean']:9.1f} {r['cpu_p95']:8.0f} "
+                     f"{r['gpu_mean']:9.1f} {r['gpu_p95']:8.0f}")
+    return "\n".join(lines)
+
+
 def spec_profile_table() -> list[dict]:
     """Companion table: the SPEC CPU 2006 profile parameters we use."""
     rows = []

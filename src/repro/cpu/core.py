@@ -73,6 +73,9 @@ class CpuCore:
         self.instructions = 0
         self.done = False
         self.finish_time: Optional[int] = None
+        #: span tracer (None unless the system wires one) — samples
+        #: this core's LLC-bound requests at the issue boundary
+        self.tracer = None
 
         # next-line stream prefetcher state (L2 prefetcher): detects
         # ascending line streaks among L2 misses and runs ahead of them,
@@ -306,6 +309,11 @@ class CpuCore:
 
     def _send(self, req: MemRequest) -> None:
         when = max(int(self._time), self.sim.now)
+        tr = self.tracer
+        if tr is not None:
+            tr.maybe_start(req, when)
+            if req.span is not None:
+                tr.gauge_record("cpu_outstanding", when, self.outstanding)
         self.sim.at_call(when, self.llc_send, req)
 
     # -- fills, evictions, inclusion ---------------------------------------

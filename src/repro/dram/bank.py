@@ -11,7 +11,7 @@ class Bank:
     """Row-buffer state + earliest next-command time for one bank."""
 
     __slots__ = ("index", "open_row", "ready_at", "row_hits", "row_misses",
-                 "row_conflicts", "activations")
+                 "row_conflicts", "activations", "queued")
 
     def __init__(self, index: int):
         self.index = index
@@ -21,6 +21,10 @@ class Bank:
         self.row_misses = 0
         self.row_conflicts = 0
         self.activations = 0
+        #: transactions currently waiting on this bank (maintained by
+        #: the controller: +1 at enqueue, -1 when the command issues) —
+        #: the per-bank queue-depth gauge span tracing reports
+        self.queued = 0
 
     def row_state(self, row: int) -> str:
         if self.open_row is None:

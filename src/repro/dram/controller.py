@@ -64,6 +64,9 @@ class MemoryController:
         self._act_times: list[int] = []
         self.refreshes = 0
         self._refresh_applied = 0
+        #: span tracer (None unless the system wires one); only touched
+        #: when the entering request carries a sampled span
+        self.tracer = None
 
         # address mapping (within the channel): row : bank : column : line.
         # The channel-select bits sit at line granularity ("line",
@@ -114,6 +117,16 @@ class MemoryController:
     def enqueue(self, req: MemRequest) -> None:
         bank, row = self.map_address(req.addr)
         entry = PendingReq(req, row, bank, self.sim.now)
+        self.banks[bank].queued += 1
+        if req.span is not None:
+            now = self.sim.now
+            req.span.stamp("dram_enqueue", now)
+            tr = self.tracer
+            tr.gauge_record("dram_queue", now, self.queue_depth(),
+                            ch=self.channel_id)
+            tr.gauge_record("dram_bank_queue", now,
+                            self.banks[bank].queued,
+                            ch=self.channel_id, bank=bank)
         if req.is_write:
             self.write_q.append(entry)
         elif not self.scheduler.on_enqueue(entry):
@@ -229,12 +242,21 @@ class MemoryController:
 
     def _service(self, entry: PendingReq) -> None:
         bank = self.banks[entry.bank]
+        bank.queued -= 1
         now = max(self.sim.now, bank.ready_at)
         if self.timing.t_faw > 0 and bank.row_state(entry.row) != "hit":
             self._act_times.append(now)
+        sp = entry.req.span
+        if sp is not None:
+            sp.stamp("dram_issue", now)
+            if bank.row_state(entry.row) != "hit":
+                sp.stamp("bank_act", now)
         _data_start, done = bank.service(
             entry.row, now, self.timing, is_write=entry.is_write,
             open_page=self.cfg.open_page, bus_free_at=self.bus_free_at)
+        if sp is not None:
+            sp.stamp("dram_data", _data_start)
+            sp.stamp("dram_done", done)
         self.bus_free_at = done
         side = "gpu" if entry.is_gpu else "cpu"
         self._served[(side, entry.is_write)].inc()

@@ -110,6 +110,9 @@ class GpuPipeline:
         self._compute_share = 1.0
         self._last_llc_issue = 0.0
         self.stopped = False
+        #: span tracer (None unless the system wires one) — samples
+        #: shader/ROP reads at the LLC issue boundary
+        self.tracer = None
 
         # observation state
         self._frame_start = 0.0
@@ -318,6 +321,11 @@ class GpuPipeline:
                          on_done=self._fill_done if not write else None,
                          created_at=int(self._time))
         when = max(int(self._time), self.sim.now)
+        tr = self.tracer
+        if tr is not None:
+            tr.maybe_start(req, when)
+            if req.span is not None:
+                tr.gauge_record("gpu_outstanding", when, self.outstanding)
         self.sim.at_call(when, self.llc_send, req)
 
     def _count_llc(self, write: bool, kind: str) -> None:
@@ -342,8 +350,14 @@ class GpuPipeline:
             retry = MemRequest(addr, False, "gpu", kind,
                                on_done=self._fill_done,
                                created_at=int(self._time))
-            self.sim.at_call(max(int(self._time), self.sim.now),
-                             self.llc_send, retry)
+            when = max(int(self._time), self.sim.now)
+            tr = self.tracer
+            if tr is not None:
+                tr.maybe_start(retry, when)
+                if retry.span is not None:
+                    tr.gauge_record("gpu_outstanding", when,
+                                    self.outstanding)
+            self.sim.at_call(when, self.llc_send, retry)
             self._schedule_at_time()
         elif self._stall == "drain" and self.outstanding == 0:
             self._stall = None

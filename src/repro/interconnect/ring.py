@@ -36,6 +36,10 @@ class RingInterconnect:
         self.n = len(self.stops)
         #: next free injection slot per direction (cw / ccw)
         self._free_at = {"cw": 0, "ccw": 0}
+        #: queueing component of the most recent contention-model
+        #: delay() — read by the span tracer's ring-occupancy gauge
+        #: (always 0 under the latency model)
+        self.last_queued = 0
         self._now_fn = lambda: 0      # wired by the system when needed
         self.stats = StatSet("ring")
         self._messages = self.stats.counter("messages")
@@ -66,7 +70,10 @@ class RingInterconnect:
         self._messages.inc()
         self._hop_total.inc(h)
         base = h * self.cfg.hop_ticks
-        if self.model == "latency" or h == 0:
+        if self.model == "latency":
+            return base               # last_queued stays 0
+        if h == 0:
+            self.last_queued = 0
             return base
         now = self._now_fn()
         direction = self.direction(src, dst)
@@ -75,6 +82,7 @@ class RingInterconnect:
         self._free_at[direction] = start + self.slot_ticks
         if queued:
             self._queued_ticks.inc(queued)
+        self.last_queued = queued
         return base + queued
 
     def mean_hops(self) -> float:

@@ -30,6 +30,7 @@ from repro.mem.mshr import MshrFile
 from repro.mem.request import MemRequest
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatSet
+from repro.spans.histogram import Histogram
 
 #: scheduled closure-free as ``after_call(delay, _COMPLETE, req)`` —
 #: equivalent to ``after(delay, req.complete)`` without allocating a
@@ -59,6 +60,14 @@ class SharedLLC:
         self.back_invalidate: Optional[Callable[[str, int], None]] = None
         self._wait: deque[MemRequest] = deque()
         self._bypass_lines: set[int] = set()
+        #: span tracer (None unless the system wires one); per-request
+        #: stamp sites guard on ``req.span``, this reference is only
+        #: touched for sampled requests (occupancy gauges)
+        self.tracer = None
+        #: always-on per-side read round-trip latency (created_at ->
+        #: data return), the cheap aggregate RunResult.llc_latency
+        #: reports; log2 buckets, two int ops per completed read
+        self.rt_hist = {"cpu": Histogram(), "gpu": Histogram()}
 
         self.stats = StatSet("llc")
         s = self.stats
@@ -109,10 +118,17 @@ class SharedLLC:
             self._write(req, addr)
             return
 
+        sp = req.span
+        if sp is not None:
+            sp.stamp("llc_enter", self.sim.now)
         line = self.cache.lookup(addr)
         if line is not None:
             self._hit[side].inc()
             delay = self.cfg.latency + self.response_delay(req)
+            if sp is not None:
+                sp.stamp("llc_hit", self.sim.now)
+            self.rt_hist[side].record(self.sim.now + delay
+                                      - req.created_at)
             self.sim.after_call(delay, _COMPLETE, req)
             return
         self._miss[side].inc()
@@ -151,25 +167,45 @@ class SharedLLC:
         if req.is_gpu and self.bypass_fn is not None and self.bypass_fn(req):
             req.bypass = True
             self._bypassed.inc()
+        sp = req.span
+        if sp is not None:
+            sp.stamp("llc_miss", self.sim.now)
+            self.tracer.gauge_record("llc_mshr", self.sim.now,
+                                     len(self.mshr))
         if self.mshr.full:
             self.mshr.note_full()
+            if sp is not None:
+                sp.stamp("llc_queue", self.sim.now)
             self._wait.append(req)
             return
         self._start_miss(req, addr)
 
     def _start_miss(self, req: MemRequest, addr: int) -> None:
         entry = self.mshr.allocate(addr, req, self.sim.now)
+        sp = req.span
         if entry is None:
-            return                    # merged onto an in-flight fill
+            # merged onto an in-flight fill; the primary's span (if
+            # any) carries the DRAM stamps, a sampled secondary only
+            # records the merge point
+            if sp is not None:
+                sp.stamp("mshr_merge", self.sim.now)
+            return
         if req.bypass:
             self._bypass_lines.add(addr)
         fill = MemRequest(addr, False, req.source, req.kind,
                           on_done=self._fill_done,
                           created_at=self.sim.now)
+        if sp is not None:
+            sp.stamp("mshr_alloc", self.sim.now)
+            # the fill shares the primary's span so the DRAM-side
+            # stamps (queue, activate, data) land on the same record
+            fill.span = sp
         self.sim.after_call(self.cfg.latency, self.dram_send, fill)
 
     def _fill_done(self, fill: MemRequest) -> None:
         addr = fill.addr              # fills are issued at line granularity
+        if fill.span is not None:
+            fill.span.stamp("fill_return", self.sim.now)
         waiters = self.mshr.complete(addr)
         bypass = addr in self._bypass_lines
         if bypass:
@@ -185,6 +221,8 @@ class SharedLLC:
                 self._handle_eviction(ev)
         for req in waiters:
             delay = self.response_delay(req)
+            self.rt_hist[self._side(req)].record(self.sim.now + delay
+                                                 - req.created_at)
             if delay:
                 self.sim.after_call(delay, _COMPLETE, req)
             else:
@@ -196,9 +234,10 @@ class SharedLLC:
             qaddr = self.line_addr(queued.addr)
             if self.cache.probe(qaddr) is not None:
                 # another fill satisfied it while it queued
-                self.sim.after_call(self.cfg.latency +
-                                    self.response_delay(queued),
-                                    _COMPLETE, queued)
+                delay = self.cfg.latency + self.response_delay(queued)
+                self.rt_hist[self._side(queued)].record(
+                    self.sim.now + delay - queued.created_at)
+                self.sim.after_call(delay, _COMPLETE, queued)
             else:
                 self._start_miss(queued, qaddr)
 
@@ -218,6 +257,21 @@ class SharedLLC:
             self.dram_send(wb)
 
     # -- introspection --------------------------------------------------------
+
+    def rt_summary(self) -> dict[str, float]:
+        """Per-side read round-trip latency aggregates.
+
+        Flat mean/p95/n per side (``cpu_mean``, ``cpu_p95``, ...),
+        cheap enough to always ship in :class:`RunResult`.  p95 is the
+        log2-bucket upper bound (a guaranteed upper bound on the true
+        order statistic, see :class:`repro.spans.Histogram`).
+        """
+        out: dict[str, float] = {}
+        for side, h in self.rt_hist.items():
+            out[f"{side}_mean"] = round(h.mean, 2)
+            out[f"{side}_p95"] = float(h.percentile(95))
+            out[f"{side}_n"] = float(h.n)
+        return out
 
     def gpu_occupancy(self) -> int:
         return sum(n for o, n in self.cache.occupancy_by_owner().items()

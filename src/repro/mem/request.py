@@ -10,6 +10,12 @@ CPU_SOURCES = tuple(f"cpu{i}" for i in range(16))
 #: GPU access kinds (used by HeLM and by the texture-share analysis)
 GPU_KINDS = ("texture", "depth", "color", "vertex", "shader_i", "zhier")
 
+#: CPU access kinds, as issued by :class:`repro.cpu.core.CpuCore`
+#: ("data" is the generic default for ad-hoc requests).  Together with
+#: :data:`GPU_KINDS` this is the full kind namespace — the trace codecs
+#: in :mod:`repro.tracing` are derived from these tuples.
+CPU_KINDS = ("data", "load", "store", "inst", "writeback", "prefetch")
+
 
 class MemRequest:
     """One line-granularity memory transaction.
@@ -18,10 +24,14 @@ class MemRequest:
     GPU traffic (texture/depth/color/vertex/...) and CPU traffic
     (inst/load/store/writeback).  ``on_done`` fires when data is returned
     (reads) or accepted (writes); writes may carry no callback.
+
+    ``span`` is ``None`` unless a :class:`repro.spans.SpanTracer`
+    sampled this request; every stage stamp site guards on it, so the
+    untraced hot path pays one attribute test.
     """
 
     __slots__ = ("addr", "is_write", "source", "kind", "on_done",
-                 "created_at", "meta", "bypass")
+                 "created_at", "meta", "bypass", "span")
 
     def __init__(self, addr: int, is_write: bool, source: str,
                  kind: str = "data",
@@ -36,6 +46,8 @@ class MemRequest:
         self.meta: Optional[dict] = None
         #: set by LLC policies: fill must not allocate in the LLC
         self.bypass = False
+        #: set by the span tracer when this request is sampled
+        self.span = None
 
     @property
     def is_gpu(self) -> bool:

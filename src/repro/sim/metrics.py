@@ -45,6 +45,10 @@ class RunResult:
     gpu_texture_share: float = 0.0
     qos: dict[str, float] = field(default_factory=dict)
     frpu_errors: list[float] = field(default_factory=list)
+    #: always-on per-side LLC read round-trip latency (created_at ->
+    #: data return, ticks): {cpu,gpu}_{mean,p95,n} — see
+    #: SharedLLC.rt_summary; analysis/tables.py renders these
+    llc_latency: dict[str, float] = field(default_factory=dict)
 
     @property
     def cpu_llc_misses(self) -> int:
@@ -92,6 +96,7 @@ def collect(system: "HeterogeneousSystem") -> RunResult:
         gpu_texture_share=gpu.texture_share() if gpu else 0.0,
         qos=qos_stats,
         frpu_errors=errors,
+        llc_latency=system.llc.rt_summary(),
     )
 
 

@@ -24,16 +24,19 @@ from repro.sim.system import HeterogeneousSystem
 
 def run_system(cfg: SystemConfig, mix: Mix,
                policy: Policy | str | None = None,
-               telemetry=None) -> RunResult:
+               telemetry=None, tracer=None) -> RunResult:
     """Build, run, and harvest one simulation.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records the
-    control loop's structured events; such runs are never cached — the
-    caller owns the telemetry object and its sinks.
+    control loop's structured events; ``tracer`` (a
+    :class:`repro.spans.SpanTracer`) samples request-path spans.  Runs
+    with either attached are never cached — the caller owns the
+    recording objects and their sinks.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
-    system = HeterogeneousSystem(cfg, mix, policy, telemetry=telemetry)
+    system = HeterogeneousSystem(cfg, mix, policy, telemetry=telemetry,
+                                 tracer=tracer)
     system.run()
     return collect(system)
 

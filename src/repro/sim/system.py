@@ -40,7 +40,8 @@ MAX_TICKS = 2_000_000_000
 
 class HeterogeneousSystem:
     def __init__(self, cfg: SystemConfig, mix: Mix, policy=None, *,
-                 sim: Optional[Simulator] = None, telemetry=None):
+                 sim: Optional[Simulator] = None, telemetry=None,
+                 tracer=None):
         if policy is None:
             from repro.policies.baseline import BaselinePolicy
             policy = BaselinePolicy()
@@ -52,6 +53,12 @@ class HeterogeneousSystem:
         # None``, so a telemetry-less run schedules the exact same
         # events and produces bit-identical stats
         self.telemetry = telemetry
+        # ``tracer`` is a repro.spans.SpanTracer (or None): sampled
+        # requests carry stage-stamped spans; stamp sites guard on
+        # ``req.span`` so the untraced path is one ``is None`` test,
+        # and stamps never schedule events — traced runs stay
+        # bit-identical (tests/sim/test_spans_golden.py)
+        self.tracer = tracer
         # ``sim`` lets tests/benchmarks inject an alternative kernel
         # (e.g. engine.ReferenceSimulator for order-equivalence checks)
         self.sim = Simulator() if sim is None else sim
@@ -117,15 +124,30 @@ class HeterogeneousSystem:
         policy.attach(self)
         if telemetry is not None:
             telemetry.bind(self)
+        if tracer is not None:
+            tracer.bind(self)
+            self.llc.tracer = tracer
+            for mc in self.dram.controllers:
+                mc.tracer = tracer
+            for core in self.cores:
+                core.tracer = tracer
+            if self.gpu is not None:
+                self.gpu.tracer = tracer
 
     # -- interconnect plumbing ------------------------------------------------
 
     def _cpu_send(self, req: MemRequest) -> None:
         d = self.ring.delay(req.source, "llc")
+        if req.span is not None:
+            self.tracer.gauge_record("ring_queued", self.sim.now,
+                                     self.ring.last_queued)
         self.sim.after_call(d, self.llc.access, req)
 
     def _gpu_send(self, req: MemRequest) -> None:
         d = self.ring.delay("gpu", "llc")
+        if req.span is not None:
+            self.tracer.gauge_record("ring_queued", self.sim.now,
+                                     self.ring.last_queued)
         self.sim.after_call(d, self.llc.access, req)
 
     def _response_delay(self, req: MemRequest) -> int:

@@ -1,0 +1,70 @@
+"""One-call traced runs (the ``--trace-spans PATH`` CLI path).
+
+Traced runs bypass the result cache like ``--profile``/``--telemetry``
+do: the span stream is a side effect a cache hit could not replay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.spans.tracer import SpanTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.metrics import RunResult
+
+
+def trace_mix(mix_name: str, policy: str = "throtcpuprio",
+              scale: str = "smoke", seed: int = 1,
+              path: Optional[str] = None, sample_every: int = 64,
+              tracer: Optional[SpanTracer] = None,
+              telemetry=None) -> tuple["RunResult", SpanTracer]:
+    """Run one mix with span tracing on.
+
+    Pass ``path`` to stream spans/gauges to a JSONL file, or a
+    pre-built ``tracer`` (custom sampling).  ``telemetry`` combines a
+    control-loop recording with the same run.  Returns
+    ``(result, tracer)``; the tracer is closed.
+    """
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+    from repro.policies import make_policy
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    if tracer is None:
+        tracer = SpanTracer(sample_every=sample_every, path=path)
+    m = mix_by_name(mix_name)
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m, make_policy(policy),
+                                 telemetry=telemetry, tracer=tracer)
+    system.run()
+    tracer.close()
+    return collect(system), tracer
+
+
+def trace_standalone(game: Optional[str] = None,
+                     spec: Optional[int] = None, scale: str = "smoke",
+                     seed: int = 1, path: Optional[str] = None,
+                     sample_every: int = 64,
+                     tracer: Optional[SpanTracer] = None,
+                     telemetry=None) -> tuple["RunResult", SpanTracer]:
+    """Traced standalone run (one GPU game or one SPEC application)."""
+    from repro.config import default_config
+    from repro.exec.specs import standalone_cpu_spec, standalone_gpu_spec
+    from repro.sim.metrics import collect
+    from repro.sim.system import HeterogeneousSystem
+
+    if (game is None) == (spec is None):
+        raise ValueError("need exactly one of game/spec")
+    if tracer is None:
+        tracer = SpanTracer(sample_every=sample_every, path=path)
+    spec_obj = standalone_gpu_spec(game, scale, seed) if game \
+        else standalone_cpu_spec(spec, scale, seed)
+    m = spec_obj.mix
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    system = HeterogeneousSystem(cfg, m, telemetry=telemetry,
+                                 tracer=tracer)
+    system.run()
+    tracer.close()
+    return collect(system), tracer

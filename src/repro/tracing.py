@@ -24,14 +24,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mem.request import MemRequest
+from repro.mem.request import (CPU_KINDS, CPU_SOURCES, GPU_KINDS,
+                               GPU_SOURCE, MemRequest)
 
-#: stable codes for sources and kinds in the on-disk arrays
-SOURCE_CODES = {f"cpu{i}": i for i in range(16)}
-SOURCE_CODES["gpu"] = 16
-KIND_CODES = {"data": 0, "load": 1, "store": 2, "inst": 3,
-              "writeback": 4, "prefetch": 5, "texture": 6, "depth": 7,
-              "color": 8, "vertex": 9, "zhier": 10, "shader_i": 11}
+#: stable codes for sources and kinds in the on-disk arrays, derived
+#: from the request-layer constants so a new source/kind automatically
+#: gets a code (``tests/test_tracing.py`` asserts the two stay in
+#: sync).  Codes follow declaration order: cpu0..cpu15 then gpu;
+#: CPU kinds then GPU kinds.
+SOURCE_CODES = {s: i for i, s in enumerate(CPU_SOURCES)}
+SOURCE_CODES[GPU_SOURCE] = len(CPU_SOURCES)
+KIND_CODES = {k: i for i, k in enumerate(CPU_KINDS + GPU_KINDS)}
 _SOURCE_NAMES = {v: k for k, v in SOURCE_CODES.items()}
 _KIND_NAMES = {v: k for k, v in KIND_CODES.items()}
 

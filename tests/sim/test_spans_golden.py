@@ -1,0 +1,57 @@
+"""Span tracing is observation, not intervention.
+
+A run with a SpanTracer attached must produce the *bit-identical*
+RunResult of the same run without one: stamp sites only read
+``sim.now`` and write span fields, and the completion hook stamps
+synchronously inside the same event.  This is the acceptance gate for
+the zero-cost-when-off contract — if a future stamp site schedules an
+event or perturbs ordering, these comparisons fail.
+"""
+
+from repro.config import default_config
+from repro.mixes import mix
+from repro.policies import make_policy
+from repro.sim.runner import run_system
+from repro.spans import SpanTracer
+
+
+def _run(mix_name: str, policy: str, tracer=None):
+    m = mix(mix_name)
+    cfg = default_config(scale="smoke", n_cpus=m.n_cpus, seed=1)
+    return run_system(cfg, m, make_policy(policy), tracer=tracer)
+
+
+def test_baseline_run_identical_with_and_without_spans():
+    plain = _run("W8", "baseline")
+    tracer = SpanTracer(sample_every=4)
+    traced = _run("W8", "baseline", tracer=tracer)
+    assert tracer.finished > 0         # the tracing actually happened
+    assert traced == plain             # full dataclass equality
+    assert traced.ticks == plain.ticks
+    assert traced.llc_latency == plain.llc_latency
+
+
+def test_throttle_run_identical_with_and_without_spans():
+    plain = _run("W8", "throtcpuprio")
+    tracer = SpanTracer(sample_every=4)
+    traced = _run("W8", "throtcpuprio", tracer=tracer)
+    assert tracer.finished > 0
+    assert traced == plain
+
+
+def test_sample_rate_does_not_change_results():
+    fine = SpanTracer(sample_every=1)
+    coarse = SpanTracer(sample_every=512)
+    assert _run("W8", "baseline", tracer=fine) == \
+        _run("W8", "baseline", tracer=coarse)
+    assert fine.finished > coarse.finished
+
+
+def test_llc_latency_always_populated():
+    r = _run("W8", "baseline")
+    for key in ("cpu_mean", "cpu_p95", "cpu_n",
+                "gpu_mean", "gpu_p95", "gpu_n"):
+        assert key in r.llc_latency
+    assert r.llc_latency["cpu_n"] > 0
+    assert r.llc_latency["gpu_n"] > 0
+    assert r.llc_latency["cpu_mean"] <= r.llc_latency["cpu_p95"]

@@ -1,0 +1,95 @@
+"""Invariants of the log2 histogram/gauge primitives."""
+
+import random
+
+import pytest
+
+from repro.spans.histogram import Gauge, Histogram, N_BUCKETS
+
+
+def test_bucket_edges_are_monotone():
+    uppers = [Histogram.bucket_upper(i) for i in range(N_BUCKETS)]
+    assert uppers[0] == 0
+    assert all(a < b for a, b in zip(uppers, uppers[1:]))
+
+
+def test_record_places_value_in_covering_bucket():
+    h = Histogram()
+    for v in (0, 1, 2, 3, 4, 63, 64, 1023, 1024, 1 << 40):
+        h.record(v)
+        i = v.bit_length()
+        lo = 0 if i == 0 else 1 << (i - 1)
+        assert lo <= v <= Histogram.bucket_upper(i)
+    assert h.n == 10
+
+
+def test_negative_values_clamp_to_zero_bucket():
+    h = Histogram()
+    h.record(-5)
+    assert h.counts[0] == 1
+    assert h.min == 0 and h.total == 0
+
+
+def test_percentiles_monotone_in_p():
+    h = Histogram()
+    rng = random.Random(7)
+    for _ in range(500):
+        h.record(rng.randrange(0, 100_000))
+    ps = [h.percentile(p) for p in (0, 10, 50, 90, 95, 99, 100)]
+    assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+
+def test_percentile_upper_bounds_true_order_statistic():
+    h = Histogram()
+    rng = random.Random(11)
+    samples = sorted(rng.randrange(0, 10_000) for _ in range(1000))
+    for v in samples:
+        h.record(v)
+    for p in (50, 95, 99):
+        true = samples[min(int(p / 100 * len(samples)), len(samples) - 1)]
+        assert h.percentile(p) >= true
+    # ...and never above the observed max
+    assert h.percentile(99) <= h.max
+
+
+def test_empty_histogram_is_inert():
+    h = Histogram()
+    assert h.n == 0 and h.mean == 0.0 and h.percentile(95) == 0
+    assert h.summary()["max"] == 0
+
+
+def test_merge_is_associative_and_matches_pooled():
+    rng = random.Random(3)
+    parts = [[rng.randrange(0, 1 << 20) for _ in range(200)]
+             for _ in range(3)]
+    hists = []
+    for vals in parts:
+        h = Histogram()
+        for v in vals:
+            h.record(v)
+        hists.append(h)
+    pooled = Histogram()
+    for v in [v for vals in parts for v in vals]:
+        pooled.record(v)
+    left = hists[0].copy().merge(hists[1]).merge(hists[2])
+    right = hists[0].copy().merge(hists[1].copy().merge(hists[2]))
+    assert left == right == pooled
+    assert left.mean == pytest.approx(pooled.mean)
+
+
+def test_copy_is_independent():
+    h = Histogram()
+    h.record(10)
+    c = h.copy()
+    c.record(99)
+    assert h.n == 1 and c.n == 2
+    assert h != c
+
+
+def test_gauge_tracks_last_and_distribution():
+    g = Gauge("mshr")
+    for v in (3, 9, 1):
+        g.record(v)
+    s = g.summary()
+    assert g.last == 1
+    assert s["n"] == 3 and s["max"] == 9 and s["last"] == 1

@@ -76,6 +76,36 @@ def test_replay_reissues_all_requests(recorded):
     assert llc.stats.get("gpu_accesses") == len(gpu)
 
 
+def test_codes_derive_from_request_constants():
+    """The on-disk codecs track the request-layer namespaces.
+
+    Adding a source or kind to repro.mem.request must automatically
+    give it a stable code — stale literal tables were a silent
+    mis-decode bug.
+    """
+    from repro.mem.request import (CPU_KINDS, CPU_SOURCES, GPU_KINDS,
+                                   GPU_SOURCE)
+    assert set(SOURCE_CODES) == set(CPU_SOURCES) | {GPU_SOURCE}
+    assert set(KIND_CODES) == set(CPU_KINDS) | set(GPU_KINDS)
+    # codes are dense, unique, and fit the uint8 arrays
+    for table in (SOURCE_CODES, KIND_CODES):
+        codes = sorted(table.values())
+        assert codes == list(range(len(table)))
+        assert codes[-1] < 255          # 255 is the unknown sentinel
+    # declaration order is the code order (stable across releases as
+    # long as new entries append)
+    assert [SOURCE_CODES[s] for s in CPU_SOURCES] == list(range(16))
+    assert SOURCE_CODES[GPU_SOURCE] == 16
+    assert [KIND_CODES[k] for k in CPU_KINDS + GPU_KINDS] == \
+        list(range(len(CPU_KINDS) + len(GPU_KINDS)))
+
+
+def test_every_issued_kind_has_a_code(recorded):
+    trace, _ = recorded
+    assert not np.any(trace.sources == 255)
+    assert not np.any(trace.kinds == 255)
+
+
 def test_replay_time_scale_compresses():
     sim = Simulator()
     t = LlcTrace(np.array([0, 1000], dtype=np.int64),

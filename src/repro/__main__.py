@@ -9,6 +9,9 @@ Examples::
     python -m repro compare --mix M7 --policies baseline,sms-0.9 --jobs 4
     python -m repro run --mix W8 --trace-spans spans.jsonl --span-sample 64
     python -m repro latency --spans spans.jsonl --compare other.jsonl
+    python -m repro run --mix M7 --guard          # invariant watchdogs on
+    python -m repro faults                        # fault-injection campaign
+    python -m repro faults --only worker-crash,cache-corrupt --scale smoke
     python -m repro list
     python -m repro report --experiment fig9 --scale smoke
     python -m repro cache            # show cache location / size / salt
@@ -89,6 +92,19 @@ def cmd_run(args) -> int:
                             seed=args.seed, path=args.telemetry)
         _print_result(r, args.scale)
         _print_telemetry(tel, args.telemetry)
+        print(f"  wall time: {time.time()-t0:.1f}s")
+        return 0
+    if args.guard:
+        from repro.config import default_config
+        from repro.guard import InvariantMonitor
+        from repro.sim.runner import run_system
+        m = mix(args.mix)
+        cfg = default_config(scale=args.scale, n_cpus=m.n_cpus,
+                             seed=args.seed)
+        monitor = InvariantMonitor()
+        r = run_system(cfg, m, args.policy, monitor=monitor)
+        _print_result(r, args.scale)
+        print(f"  {monitor.report().format()}")
         print(f"  wall time: {time.time()-t0:.1f}s")
         return 0
     r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed)
@@ -247,6 +263,28 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    """Run the fault-injection campaign (see docs/robustness.md)."""
+    from repro.faults import run_campaign, scenario_names
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(name)
+        return 0
+    only = args.only.split(",") if args.only else None
+    t0 = time.time()
+
+    def progress(outcome):
+        print(f"  {outcome.name}: {outcome.classification}",
+              file=sys.stderr)
+
+    report = run_campaign(scale=args.scale, seed=args.seed,
+                          mix_name=args.mix, policy=args.policy,
+                          only=only, progress=progress)
+    print(report.format())
+    print(f"wall time: {time.time()-t0:.1f}s")
+    return 0 if report.ok else 1
+
+
 def cmd_sweep(args) -> int:
     """QoS-target sweep on one mix (the headline ablation)."""
     from repro.analysis.sweep import sweep, vary_qos
@@ -277,6 +315,10 @@ def main(argv=None) -> int:
                         "bypasses cache; see docs/latency.md)")
     p.add_argument("--span-sample", type=int, default=64, metavar="N",
                    help="trace 1-in-N eligible requests (default 64)")
+    p.add_argument("--guard", action="store_true",
+                   help="attach the invariant monitor (conservation, "
+                        "occupancy, liveness checks; bypasses cache; "
+                        "see docs/robustness.md)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("standalone", help="run one app alone")
@@ -332,6 +374,17 @@ def main(argv=None) -> int:
                    help="delete every persisted result")
     p.set_defaults(fn=cmd_cache)
 
+    p = sub.add_parser("faults",
+                       help="fault-injection campaign: every fault "
+                            "detected or tolerated, never silent")
+    p.add_argument("--mix", default="W8")
+    p.add_argument("--policy", default="throtcpuprio")
+    p.add_argument("--only", metavar="A,B,...",
+                   help="run only these scenarios")
+    p.add_argument("--list-scenarios", action="store_true",
+                   help="print scenario names and exit")
+    p.set_defaults(fn=cmd_faults)
+
     for sp in sub.choices.values():
         sp.add_argument("--scale", default="smoke",
                         choices=["smoke", "test", "bench", "paper"])
@@ -339,6 +392,10 @@ def main(argv=None) -> int:
         sp.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for independent runs "
                              "(0 = one per core; default: $REPRO_JOBS or 1)")
+
+    # the campaign defaults to test scale: smoke runs are short enough
+    # that some scenarios (FRPU misprediction) may never engage
+    sub.choices["faults"].set_defaults(scale="test")
 
     args = ap.parse_args(argv)
     if args.jobs is not None:

@@ -1,0 +1,59 @@
+"""Hardened ingestion for recorded JSONL streams.
+
+Telemetry and span files are written line-by-line; a run that crashes or
+is interrupted mid-write legitimately leaves a truncated final line, and
+a corrupted disk can mangle any line.  Analysis must not fall over on
+one bad byte — nor silently pretend the file was complete.  So: skip
+malformed lines, count them, and say so once per file with a
+:class:`MalformedLineWarning`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Optional, Tuple
+
+
+class MalformedLineWarning(UserWarning):
+    """A recorded stream contained unparseable lines that were skipped
+    (most often a truncated trailing line from an interrupted run)."""
+
+
+def warn_skipped(path: str, skipped: int, first_line: Optional[int],
+                 total: int) -> None:
+    if not skipped:
+        return
+    where = f" (first at line {first_line})" if first_line else ""
+    warnings.warn(
+        f"{path}: skipped {skipped} malformed line(s){where}, "
+        f"kept {total} — truncated or corrupted recording?",
+        MalformedLineWarning, stacklevel=3)
+
+
+def read_jsonl(path: str) -> Tuple[list, int]:
+    """Read a JSONL file into row dicts, skipping malformed lines.
+
+    Returns ``(rows, skipped)``.  A non-zero ``skipped`` has already
+    been reported through a single :class:`MalformedLineWarning`.
+    """
+    rows: list = []
+    skipped = 0
+    first_bad: Optional[int] = None
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                row = None
+            if not isinstance(row, dict):
+                skipped += 1
+                if first_bad is None:
+                    first_bad = lineno
+                continue
+            rows.append(row)
+    warn_skipped(path, skipped, first_bad, len(rows))
+    return rows, skipped

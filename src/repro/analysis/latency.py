@@ -24,21 +24,21 @@ Usage::
 
 from __future__ import annotations
 
-import json
 from typing import Iterable, Optional
 
+from repro.analysis.ingest import read_jsonl
 from repro.spans.histogram import Histogram
 from repro.spans.tracer import METRICS, stage_durations
 
 
 def load_rows(path: str) -> list[dict]:
-    """Read a span-stream JSONL file into row dicts."""
-    rows: list[dict] = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                rows.append(json.loads(line))
+    """Read a span-stream JSONL file into row dicts.
+
+    Malformed or truncated lines (an interrupted run's torn tail) are
+    skipped with a counted :class:`~repro.analysis.ingest.
+    MalformedLineWarning` rather than aborting the analysis.
+    """
+    rows, _skipped = read_jsonl(path)
     return rows
 
 
@@ -49,6 +49,8 @@ class SpanReport:
         self.meta: dict = {}
         self.spans: list[dict] = []
         self.gauge_rows: list[dict] = []
+        #: malformed lines dropped by :meth:`load` (0 for in-memory rows)
+        self.skipped_lines: int = 0
         for r in rows:
             t = r.get("t")
             if t == "span":
@@ -74,7 +76,10 @@ class SpanReport:
 
     @classmethod
     def load(cls, path: str) -> "SpanReport":
-        return cls(load_rows(path))
+        rows, skipped = read_jsonl(path)
+        report = cls(rows)
+        report.skipped_lines = skipped
+        return report
 
     @classmethod
     def from_tracer(cls, tracer) -> "SpanReport":

@@ -27,10 +27,10 @@ Usage::
 from __future__ import annotations
 
 import csv
-import json
 import os
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Tuple
 
+from repro.analysis.ingest import read_jsonl, warn_skipped
 from repro.telemetry.events import SCHEMA
 
 _CASTS = {"int": int, "float": float, "str": str}
@@ -52,20 +52,33 @@ def _coerce(record: dict) -> dict:
 
 
 def load_records(path: str) -> list[dict]:
-    """Read a telemetry file (.jsonl/.json or .csv) into record dicts."""
+    """Read a telemetry file (.jsonl/.json or .csv) into record dicts.
+
+    Malformed lines (a truncated tail from an interrupted run, a row
+    that no longer casts against the schema) are skipped with a counted
+    :class:`~repro.analysis.ingest.MalformedLineWarning`.
+    """
+    return _load_records(path)[0]
+
+
+def _load_records(path: str) -> Tuple[list, int]:
     ext = os.path.splitext(path)[1].lower()
-    records: list[dict] = []
-    if ext == ".csv":
-        with open(path, newline="", encoding="utf-8") as fh:
-            for row in csv.DictReader(fh):
+    if ext != ".csv":
+        return read_jsonl(path)
+    records: list = []
+    skipped = 0
+    first_bad: Optional[int] = None
+    with open(path, newline="", encoding="utf-8") as fh:
+        # header is line 1; DictReader yields data rows from line 2
+        for lineno, row in enumerate(csv.DictReader(fh), 2):
+            try:
                 records.append(_coerce(row))
-    else:
-        with open(path, encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    records.append(json.loads(line))
-    return records
+            except (ValueError, TypeError):
+                skipped += 1
+                if first_bad is None:
+                    first_bad = lineno
+    warn_skipped(path, skipped, first_bad, len(records))
+    return records, skipped
 
 
 class Timeline:
@@ -73,6 +86,8 @@ class Timeline:
 
     def __init__(self, records: Iterable[dict]):
         self.records = list(records)
+        #: malformed lines dropped by :meth:`load` (0 for in-memory use)
+        self.skipped_lines: int = 0
         self.by_type: dict[str, list[dict]] = {}
         for r in self.records:
             self.by_type.setdefault(r.get("type", "?"), []).append(r)
@@ -81,7 +96,10 @@ class Timeline:
 
     @classmethod
     def load(cls, path: str) -> "Timeline":
-        return cls(load_records(path))
+        records, skipped = _load_records(path)
+        tl = cls(records)
+        tl.skipped_lines = skipped
+        return tl
 
     @classmethod
     def from_telemetry(cls, telemetry) -> "Timeline":

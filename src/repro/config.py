@@ -30,6 +30,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 
+class ConfigError(ValueError):
+    """An impossible machine description, rejected at construction time.
+
+    Every config dataclass validates in ``__post_init__`` so a typo'd
+    sweep (zero-width core, negative cycle budget, cache that doesn't
+    tile, drain watermark outside [0, 1]) fails at build time with a
+    named field — never as a nonsense simulation result thousands of
+    ticks later.
+    """
+
+
+def _require(cond: bool, what: str) -> None:
+    if not cond:
+        raise ConfigError(what)
+
+
+def _positive(name: str, **fields: float) -> None:
+    for fname, value in fields.items():
+        _require(value > 0, f"{name}.{fname} must be > 0, got {value!r}")
+
+
+def _non_negative(name: str, **fields: float) -> None:
+    for fname, value in fields.items():
+        _require(value >= 0,
+                 f"{name}.{fname} must be >= 0, got {value!r}")
+
+
 CPU_CLOCK_HZ: int = 4_000_000_000
 GPU_CLOCK_HZ: int = 1_000_000_000
 
@@ -59,12 +86,16 @@ class CacheConfig:
     def sets(self) -> int:
         sets = self.size_bytes // (self.ways * self.line_bytes)
         if sets <= 0:
-            raise ValueError(f"{self.name}: geometry yields {sets} sets")
+            raise ConfigError(f"{self.name}: geometry yields {sets} sets")
         return sets
 
     def __post_init__(self) -> None:
+        _positive(self.name, size_bytes=self.size_bytes, ways=self.ways,
+                  line_bytes=self.line_bytes,
+                  mshr_entries=self.mshr_entries)
+        _non_negative(self.name, latency=self.latency)
         if self.size_bytes % (self.ways * self.line_bytes):
-            raise ValueError(
+            raise ConfigError(
                 f"{self.name}: size {self.size_bytes} not divisible by "
                 f"ways*line ({self.ways}*{self.line_bytes})"
             )
@@ -86,6 +117,11 @@ class CpuCoreConfig:
     # "2 cycles"/"3 cycles" translate directly.
     l2: CacheConfig = field(default_factory=lambda: CacheConfig(
         "l2", 256 * 1024, 8, latency=3))
+
+    def __post_init__(self) -> None:
+        _positive("cpu", issue_width=self.issue_width,
+                  rob_entries=self.rob_entries, mlp_limit=self.mlp_limit,
+                  write_buffer=self.write_buffer)
 
 
 @dataclass(frozen=True)
@@ -131,6 +167,13 @@ class GpuConfig:
     issue_rate: int = 2
     caches: GpuCachesConfig = field(default_factory=GpuCachesConfig)
 
+    def __post_init__(self) -> None:
+        _positive("gpu", shader_cores=self.shader_cores,
+                  max_thread_contexts=self.max_thread_contexts,
+                  texture_samplers_per_core=self.texture_samplers_per_core,
+                  rops=self.rops, mshr_entries=self.mshr_entries,
+                  issue_rate=self.issue_rate)
+
 
 @dataclass(frozen=True)
 class LlcConfig:
@@ -143,6 +186,14 @@ class LlcConfig:
     policy: str = "srrip"
     srrip_bits: int = 2
     mshr_entries: int = 128
+
+    def __post_init__(self) -> None:
+        # full geometry/divisibility checks run in cache_config(); the
+        # eager ones here catch sweeps that never build a cache
+        _positive("llc", size_bytes=self.size_bytes, ways=self.ways,
+                  line_bytes=self.line_bytes,
+                  mshr_entries=self.mshr_entries)
+        _non_negative("llc", latency=self.latency)
 
     def cache_config(self) -> CacheConfig:
         return CacheConfig(
@@ -172,6 +223,14 @@ class DramTiming:
     #: 0 disables the constraint (default, see above).
     t_faw: int = 0
 
+    def __post_init__(self) -> None:
+        _positive("dram.timing", t_cas=self.t_cas, t_rcd=self.t_rcd,
+                  t_rp=self.t_rp, t_ras=self.t_ras,
+                  burst_cycles=self.burst_cycles, t_wr=self.t_wr,
+                  t_wtr=self.t_wtr, t_rtp=self.t_rtp, t_rfc=self.t_rfc)
+        _non_negative("dram.timing", t_refi=self.t_refi,
+                      t_faw=self.t_faw)
+
 
 @dataclass(frozen=True)
 class DramConfig:
@@ -192,6 +251,20 @@ class DramConfig:
     write_drain_hi: float = 0.8
     write_drain_lo: float = 0.2
 
+    def __post_init__(self) -> None:
+        _positive("dram", channels=self.channels,
+                  ranks_per_channel=self.ranks_per_channel,
+                  banks_per_rank=self.banks_per_rank,
+                  row_bytes=self.row_bytes, read_queue=self.read_queue,
+                  write_queue=self.write_queue)
+        _require(self.mapping in ("line", "row", "bank-xor"),
+                 f"dram.mapping must be line/row/bank-xor, "
+                 f"got {self.mapping!r}")
+        _require(0.0 <= self.write_drain_lo < self.write_drain_hi <= 1.0,
+                 "dram write-drain watermarks must satisfy "
+                 "0 <= lo < hi <= 1, got "
+                 f"lo={self.write_drain_lo!r} hi={self.write_drain_hi!r}")
+
 
 @dataclass(frozen=True)
 class RingConfig:
@@ -205,6 +278,14 @@ class RingConfig:
     model: str = "latency"
     #: injection-slot occupancy per message under the contention model
     slot_ticks: int = 1
+
+    def __post_init__(self) -> None:
+        _positive("ring", hop_ticks=self.hop_ticks,
+                  link_bytes_per_tick=self.link_bytes_per_tick,
+                  slot_ticks=self.slot_ticks)
+        _require(self.model in ("latency", "contention"),
+                 f"ring.model must be latency/contention, "
+                 f"got {self.model!r}")
 
 
 @dataclass(frozen=True)
@@ -221,6 +302,16 @@ class QosConfig:
     recompute_interval_gpu_cycles: int = 2048
     #: enable the DRAM-scheduler CPU-priority boost
     cpu_priority_boost: bool = True
+
+    def __post_init__(self) -> None:
+        _positive("qos", target_fps=self.target_fps,
+                  rtp_table_entries=self.rtp_table_entries,
+                  wg_step=self.wg_step,
+                  recompute_interval_gpu_cycles=(
+                      self.recompute_interval_gpu_cycles))
+        _require(0.0 < self.verify_threshold <= 1.0,
+                 "qos.verify_threshold must be in (0, 1], got "
+                 f"{self.verify_threshold!r}")
 
 
 @dataclass(frozen=True)
@@ -258,6 +349,18 @@ class Scale:
     #: vs L1/L2, private caches vs LLC, footprint vs LLC) stays in the
     #: paper's regime at reduced access counts.
     mem_scale: int = 4
+
+    def __post_init__(self) -> None:
+        _positive(f"scale[{self.name}]",
+                  gpu_frame_cycles=self.gpu_frame_cycles,
+                  cpu_instructions=self.cpu_instructions,
+                  min_frames=self.min_frames, max_frames=self.max_frames,
+                  llc_bytes=self.llc_bytes, mem_scale=self.mem_scale)
+        _non_negative(f"scale[{self.name}]",
+                      warmup_instructions=self.warmup_instructions)
+        _require(self.min_frames <= self.max_frames,
+                 f"scale[{self.name}]: min_frames {self.min_frames} "
+                 f"exceeds max_frames {self.max_frames}")
 
 
 #: Presets: "smoke" for unit tests, "test" for integration/benchmarks,
@@ -297,6 +400,13 @@ class SystemConfig:
     #: GPU front end: "procedural" (calibrated tile budgets, default)
     #: or "geometry" (explicit triangle scene -> raster coverage)
     gpu_frontend: str = "procedural"
+
+    def __post_init__(self) -> None:
+        # n_cpus == 0 is legal: standalone GPU runs have no CPU cores
+        _non_negative("system", n_cpus=self.n_cpus)
+        _require(self.gpu_frontend in ("procedural", "geometry"),
+                 f"system.gpu_frontend must be procedural/geometry, "
+                 f"got {self.gpu_frontend!r}")
 
     def with_scale(self, scale: str | Scale) -> "SystemConfig":
         if isinstance(scale, str):

@@ -70,6 +70,19 @@ class FrameRatePredictor:
     def __init__(self, rtp_entries: int = 64, verify_threshold: float = 0.25,
                  correct_throttle: bool = True, skip_frames: int = 1,
                  ewma_alpha: float = 0.4, telemetry=None):
+        from repro.config import ConfigError
+        if rtp_entries < 1:
+            raise ConfigError(
+                f"frpu.rtp_entries must be >= 1, got {rtp_entries!r}")
+        if not 0.0 < verify_threshold <= 1.0:
+            raise ConfigError("frpu.verify_threshold must be in (0, 1], "
+                              f"got {verify_threshold!r}")
+        if skip_frames < 0:
+            raise ConfigError(
+                f"frpu.skip_frames must be >= 0, got {skip_frames!r}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigError("frpu.ewma_alpha must be in (0, 1], "
+                              f"got {ewma_alpha!r}")
         self.table = RtpInfoTable(rtp_entries)
         #: optional repro.telemetry.Telemetry: phase transitions and
         #: prediction-error samples are emitted when attached

@@ -351,6 +351,15 @@ class CpuCore:
 
     # -- metrics ---------------------------------------------------------------
 
+    def guard_state(self) -> dict:
+        """Occupancy/stall snapshot for the invariant monitor."""
+        return {"outstanding": self.outstanding, "mlp": self.mlp,
+                "wb_used": self.wb_used,
+                "wb_cap": self.cfg.write_buffer,
+                "prefetches": self._pf_outstanding,
+                "inflight_lines": len(self._inflight),
+                "stall": self._stall, "done": self.done}
+
     @property
     def cycles_to_target(self) -> Optional[int]:
         return self.finish_time

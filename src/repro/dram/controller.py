@@ -268,6 +268,31 @@ class MemoryController:
 
     # -- stats helpers ----------------------------------------------------
 
+    def guard_state(self) -> dict:
+        """Queue-accounting snapshot for the invariant monitor.
+
+        ``bank_queued`` (the sum of the per-bank counters maintained at
+        enqueue/service time) must equal ``reads + writes`` — a mismatch
+        means a transaction was lost or double-serviced.  ``oldest_age``
+        covers *reads* only (writes may legitimately sit below the drain
+        watermark for a long time).  Read-only.
+        """
+        now = self.sim.now
+        oldest = min((e.arrival for e in self.read_q), default=None)
+        if isinstance(self.scheduler, SmsScheduler):
+            sched = self.scheduler
+            batches = list(sched._ready) + list(sched._forming.values())
+            if sched._current is not None:
+                batches.append(sched._current)
+            for b in batches:
+                for e in b.entries:
+                    if oldest is None or e.arrival < oldest:
+                        oldest = e.arrival
+        return {"reads": self._pending_reads(),
+                "writes": len(self.write_q),
+                "bank_queued": sum(b.queued for b in self.banks),
+                "oldest_age": None if oldest is None else now - oldest}
+
     def bytes_served(self, side: str, write: bool) -> int:
         return self._served[(side, write)].value * self.line_bytes
 

@@ -14,16 +14,18 @@ execution and caching semantics, and ``docs/architecture.md`` for how
 the analysis / benchmark layers route through this package.
 """
 
-from repro.exec.cache import CacheStats, ResultCache, code_salt
-from repro.exec.executor import (BatchError, RunOutcome, clear_caches,
-                                 counters, default_jobs, reset_counters,
-                                 run_cached, run_many, set_shared_cache,
-                                 shared_cache)
+from repro.exec.cache import (CacheIntegrityWarning, CacheStats,
+                              ResultCache, code_salt)
+from repro.exec.executor import (BatchError, BatchInterrupted, RunOutcome,
+                                 clear_caches, counters, default_jobs,
+                                 reset_counters, run_cached, run_many,
+                                 set_shared_cache, shared_cache)
 from repro.exec.specs import (RunSpec, mix_spec, standalone_cpu_spec,
                               standalone_gpu_spec)
 
 __all__ = [
-    "BatchError", "CacheStats", "ResultCache", "RunOutcome", "RunSpec",
+    "BatchError", "BatchInterrupted", "CacheIntegrityWarning",
+    "CacheStats", "ResultCache", "RunOutcome", "RunSpec",
     "clear_caches", "code_salt", "counters", "default_jobs", "mix_spec",
     "reset_counters", "run_cached", "run_many", "set_shared_cache",
     "shared_cache", "standalone_cpu_spec", "standalone_gpu_spec",

@@ -14,6 +14,14 @@ never masquerade as fresh simulation output.  Both layers hand out
 defensive deep copies — callers may mutate what they get back without
 corrupting another figure's normalisation baseline.
 
+Disk integrity: every cache file is ``magic + sha256(payload) +
+payload`` and writes are atomic (``mkstemp`` + ``os.replace``), so a
+reader never sees a partial write, and a torn or bit-rotted file fails
+its content checksum instead of half-loading.  A file that fails the
+check is *quarantined* (renamed to ``*.corrupt``), a
+:class:`CacheIntegrityWarning` is issued, and the lookup reports a miss
+— the result is recomputed and re-stored.
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache``)
@@ -27,6 +35,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from copy import deepcopy
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Tuple
@@ -41,9 +50,18 @@ DISABLE_ENV = "REPRO_CACHE"
 SALT_ENV = "REPRO_CACHE_SALT"
 
 #: bump to invalidate every existing cache file regardless of source state
-_FORMAT = 1
+_FORMAT = 2
+
+#: on-disk header: magic (format v2) + 32-byte SHA-256 of the payload
+_MAGIC = b"RPRC\x02\n"
+_DIGEST_LEN = 32
 
 _OFF_VALUES = ("0", "off", "no", "false")
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A persisted result failed its content checksum and was
+    quarantined (renamed to ``*.corrupt``) instead of half-loaded."""
 
 
 def _source_digest() -> str:
@@ -92,6 +110,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0                  # files quarantined on checksum fail
 
 
 class ResultCache:
@@ -121,6 +140,50 @@ class ResultCache:
 
     # -- lookup / store -----------------------------------------------------
 
+    def _quarantine(self, path: str, why: str) -> None:
+        """Move a damaged cache file aside and warn — loudly, never
+        silently: a half-loaded result would poison every figure that
+        normalises against it."""
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path + ".corrupt")
+            moved = True
+        except OSError:
+            moved = False
+        warnings.warn(
+            f"cache file failed integrity check ({why}): {path}"
+            + (" [quarantined as .corrupt]" if moved else ""),
+            CacheIntegrityWarning, stacklevel=3)
+
+    def _read_disk(self, path: str):
+        """Load one checksummed cache file.
+
+        Returns the unpickled result, or ``None`` (a miss) for a
+        missing, stale, or quarantined file.  Torn / bit-rotted files —
+        bad magic, short header, digest mismatch — are quarantined with
+        a :class:`CacheIntegrityWarning`; checksum-valid files that no
+        longer unpickle (schema drift under a pinned salt) are a plain
+        miss.
+        """
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None               # missing: plain miss
+        head = len(_MAGIC) + _DIGEST_LEN
+        if len(blob) < head or not blob.startswith(_MAGIC):
+            self._quarantine(path, "bad header")
+            return None
+        payload = blob[head:]
+        if hashlib.sha256(payload).digest() != blob[len(_MAGIC):head]:
+            self._quarantine(path, "checksum mismatch")
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None               # stale schema: plain miss
+
     def get(self, spec: "RunSpec") -> Tuple[Optional["RunResult"], str]:
         """Return ``(copy_of_result, source)``; source is ``"memory"``,
         ``"disk"`` or ``"miss"`` (with a ``None`` result)."""
@@ -130,13 +193,8 @@ class ResultCache:
             self.stats.memory_hits += 1
             return deepcopy(hit), "memory"
         if self.disk_enabled():
-            try:
-                with open(self.path_for(key), "rb") as fh:
-                    result = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError, IndexError):
-                pass          # missing or unreadable: treat as a miss
-            else:
+            result = self._read_disk(self.path_for(key))
+            if result is not None:
                 self._memory[key] = result
                 self.stats.disk_hits += 1
                 return deepcopy(result), "disk"
@@ -151,12 +209,15 @@ class ResultCache:
             return
         path = self.path_for(key)
         try:
+            payload = pickle.dumps(self._memory[key],
+                                   protocol=pickle.HIGHEST_PROTOCOL)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                        suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(self._memory[key], fh,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_MAGIC)
+                fh.write(hashlib.sha256(payload).digest())
+                fh.write(payload)
             os.replace(tmp, path)     # atomic: readers never see partials
         except OSError:
             pass                      # best-effort persistence
@@ -173,7 +234,7 @@ class ResultCache:
             return 0
         for dirpath, _dirnames, filenames in os.walk(self.root):
             for name in filenames:
-                if name.endswith((".pkl", ".tmp")):
+                if name.endswith((".pkl", ".tmp", ".corrupt")):
                     try:
                         os.unlink(os.path.join(dirpath, name))
                         removed += 1

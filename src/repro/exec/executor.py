@@ -3,11 +3,28 @@
 :func:`run_many` is the substrate the figure benches, the sweep utility
 and the CLI route through.  Independent ``RunSpec``s are deduplicated,
 looked up in the shared :class:`~repro.exec.cache.ResultCache`, and the
-misses executed — serially, or across a process pool when ``jobs > 1``.
+misses executed — serially, or across worker processes when ``jobs > 1``.
 Results come back in input order regardless of completion order, and a
 failed run reports its spec and traceback in its :class:`RunOutcome`
-instead of poisoning the rest of the batch (a worker process that dies
-outright is retried in-process).
+instead of poisoning the rest of the batch.
+
+Hardened execution semantics (see ``docs/robustness.md``):
+
+* **Per-run timeouts** — ``timeout`` seconds of wall clock per attempt;
+  a worker that exceeds it is terminated (then killed) and the slot
+  reports a timeout error instead of wedging the batch.
+* **Bounded retry with exponential backoff** — worker *death* (crash,
+  OOM-kill, timeout) is retried up to ``retries`` times, waiting
+  ``backoff * 2**(attempt-1)`` seconds between attempts.  Ordinary
+  exceptions are deterministic and fail immediately.
+* **Interrupt salvage** — SIGINT/SIGTERM mid-batch terminates the
+  workers, keeps every completed (and cached) result, marks unfinished
+  slots, and raises :class:`BatchInterrupted` carrying the partial
+  outcome list; a re-run re-executes nothing that completed.
+
+The serial path (``jobs <= 1`` with no timeout/retries) runs specs
+in-process in input order, bit-identically to calling ``spec.run()``
+yourself.
 
 ``REPRO_JOBS`` sets the default fan-out (``0`` means one worker per
 core); unset it defaults to 1, keeping unit tests and casual callers on
@@ -16,9 +33,11 @@ the bit-identical serial path.
 
 from __future__ import annotations
 
-import concurrent.futures as cf
 import multiprocessing as mp
+import multiprocessing.connection
 import os
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -95,6 +114,7 @@ class RunOutcome:
     error: Optional[str] = None        # formatted traceback on failure
     elapsed: float = 0.0               # wall seconds (0 for cache hits)
     source: str = "run"                # "run" | "memory" | "disk" | "error"
+    attempts: int = 1                  # executions tried for this slot
 
     @property
     def ok(self) -> bool:
@@ -112,15 +132,50 @@ class BatchError(RuntimeError):
             f"{len(self.failures)} run(s) failed: {labels}\n{first}")
 
 
-# -- execution ---------------------------------------------------------------
+class BatchInterrupted(RuntimeError):
+    """SIGINT/SIGTERM cut the batch short; completed work is salvaged.
 
-def _pool_worker(spec: RunSpec):
-    """Top-level so it pickles; never raises (errors travel as data)."""
+    ``outcomes`` aligns with the input specs: finished slots carry their
+    results (already persisted to the cache), unfinished slots carry an
+    ``"interrupted"`` error.  Re-running the same batch re-executes only
+    the unfinished slots — the finished ones come back as cache hits.
+    """
+
+    def __init__(self, outcomes: List[RunOutcome]):
+        self.outcomes = outcomes
+        self.completed = sum(1 for o in outcomes if o.ok)
+        super().__init__(
+            f"batch interrupted: {self.completed}/{len(outcomes)} "
+            "run(s) completed and salvaged")
+
+
+# -- worker-side entry points ------------------------------------------------
+
+def _task_worker(conn, spec) -> None:
+    """Child-process body: run one spec, ship the outcome over the pipe.
+
+    Never raises: errors travel as data.  A crash (SIGKILL, segfault)
+    closes the pipe without a message — the parent reads EOF and treats
+    it as worker death.
+    """
     t0 = time.perf_counter()
     try:
-        return True, spec.run(), time.perf_counter() - t0
+        result = spec.run()
+        payload = (True, result, time.perf_counter() - t0)
+    except BaseException:
+        payload = (False, traceback.format_exc(),
+                   time.perf_counter() - t0)
+    try:
+        conn.send(payload)
     except Exception:
-        return False, traceback.format_exc(), time.perf_counter() - t0
+        # result not picklable (or pipe gone): report, don't crash
+        try:
+            conn.send((False, traceback.format_exc(),
+                       time.perf_counter() - t0))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 def _mp_context():
@@ -148,21 +203,68 @@ def run_cached(spec: RunSpec,
 Progress = Callable[[RunOutcome, int, int], None]
 
 
+class _Task:
+    """One unique spec moving through the process manager."""
+
+    __slots__ = ("key", "spec", "attempts", "not_before", "proc",
+                 "conn", "deadline")
+
+    def __init__(self, key: str, spec):
+        self.key = key
+        self.spec = spec
+        self.attempts = 0
+        self.not_before = 0.0          # monotonic launch gate (backoff)
+        self.proc = None
+        self.conn = None
+        self.deadline = None           # monotonic timeout for this attempt
+
+
+def _sigterm_to_interrupt():
+    """Install a SIGTERM->KeyboardInterrupt handler (main thread only).
+
+    Returns a restore callable.  Off the main thread (or on platforms
+    without SIGTERM) this is a no-op — the interrupt-salvage path then
+    only covers SIGINT.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    try:
+        prev = signal.getsignal(signal.SIGTERM)
+
+        def handler(signum, frame):
+            raise KeyboardInterrupt
+
+        signal.signal(signal.SIGTERM, handler)
+        return lambda: signal.signal(signal.SIGTERM, prev)
+    except (ValueError, OSError, AttributeError):  # pragma: no cover
+        return lambda: None
+
+
 def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
              cache: Optional[ResultCache] = None,
              progress: Optional[Progress] = None,
-             strict: bool = False) -> List[RunOutcome]:
+             strict: bool = False,
+             timeout: Optional[float] = None,
+             retries: int = 0,
+             backoff: float = 0.5) -> List[RunOutcome]:
     """Run a batch of independent specs; outcomes align with input order.
 
     Identical specs are executed once.  Cache hits (memory or disk) skip
     execution entirely.  ``jobs=None`` takes :func:`default_jobs`;
-    ``jobs > 1`` fans misses across a process pool.  With
-    ``strict=True`` a :class:`BatchError` is raised if any spec failed;
-    otherwise failures are reported per-outcome.
+    ``jobs > 1`` fans misses across worker processes.  ``timeout`` caps
+    each attempt's wall-clock seconds; worker death and timeouts are
+    retried up to ``retries`` times with exponential backoff (base
+    ``backoff`` seconds).  With ``strict=True`` a :class:`BatchError`
+    is raised if any spec failed.  SIGINT/SIGTERM raises
+    :class:`BatchInterrupted` after salvaging completed results.
     """
     specs = list(specs)
     cache = cache or shared_cache()
     jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive seconds (or None)")
+    if retries < 0 or backoff < 0:
+        raise ValueError("retries and backoff must be >= 0")
     total = len(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * total
     todo: dict = {}                    # unique key -> input indices
@@ -184,8 +286,8 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
             order.append((key, spec))
         todo[key].append(i)
 
-    def finish(key: str, spec: RunSpec, ok: bool, payload,
-               elapsed: float) -> None:
+    def finish(key: str, spec, ok: bool, payload,
+               elapsed: float, attempts: int = 1) -> None:
         if ok:
             cache.put(spec, payload)
             indices = todo[key]
@@ -194,15 +296,23 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
                 # independent of the cached copy); duplicates get copies
                 res = payload if j == 0 else cache.get(spec)[0]
                 outcomes[i] = RunOutcome(spec, res, elapsed=elapsed,
-                                         source="run")
+                                         source="run", attempts=attempts)
                 report(outcomes[i], i)
         else:
             for i in todo[key]:
                 outcomes[i] = RunOutcome(spec, None, error=payload,
-                                         elapsed=elapsed, source="error")
+                                         elapsed=elapsed, source="error",
+                                         attempts=attempts)
                 report(outcomes[i], i)
 
-    def run_serial(key: str, spec: RunSpec) -> None:
+    def salvage() -> None:
+        """Mark every unfinished slot; completed ones are already in."""
+        for i, spec in enumerate(specs):
+            if outcomes[i] is None:
+                outcomes[i] = RunOutcome(spec, None, error="interrupted",
+                                         source="error")
+
+    def run_serial(key: str, spec) -> None:
         t0 = time.perf_counter()
         counters["executed"] += 1
         try:
@@ -213,30 +323,142 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
         else:
             finish(key, spec, True, result, time.perf_counter() - t0)
 
-    if jobs <= 1 or len(order) <= 1:
-        for key, spec in order:
-            run_serial(key, spec)
-    else:
-        ctx = _mp_context()
-        with cf.ProcessPoolExecutor(max_workers=min(jobs, len(order)),
-                                    mp_context=ctx) as pool:
-            futures = {}
+    restore = _sigterm_to_interrupt()
+    try:
+        if timeout is None and retries == 0 and \
+                (jobs <= 1 or len(order) <= 1):
             for key, spec in order:
-                counters["executed"] += 1
-                futures[pool.submit(_pool_worker, spec)] = (key, spec)
-            for fut in cf.as_completed(futures):
-                key, spec = futures[fut]
-                if fut.exception() is not None:
-                    # the worker process died (BrokenProcessPool etc.):
-                    # retry in-process so one crash doesn't sink the batch
-                    counters["executed"] -= 1
-                    run_serial(key, spec)
-                else:
-                    ok, payload, elapsed = fut.result()
-                    finish(key, spec, ok, payload, elapsed)
+                run_serial(key, spec)
+        else:
+            # legacy resilience: with no explicit hardening options, a
+            # worker that dies outright is retried in-process so one
+            # crash doesn't sink the batch.  With timeout/retries set,
+            # failures are reported as outcomes instead (an in-process
+            # retry of a crashing or hanging spec would take the parent
+            # down with it).
+            fallback = run_serial \
+                if timeout is None and retries == 0 else None
+            _run_managed(order, finish, jobs, timeout, retries, backoff,
+                         fallback)
+    except KeyboardInterrupt:
+        salvage()
+        raise BatchInterrupted(
+            [o for o in outcomes if o is not None]) from None
+    finally:
+        restore()
 
     done: List[RunOutcome] = [o for o in outcomes if o is not None]
     assert len(done) == total, "executor lost a batch slot"
     if strict and any(not o.ok for o in done):
         raise BatchError(done)
     return done
+
+
+def _run_managed(order: List[tuple], finish, jobs: int,
+                 timeout: Optional[float], retries: int,
+                 backoff: float, fallback=None) -> None:
+    """Process manager: one child per attempt, so a hung or crashed
+    worker can be terminated without sinking its siblings.
+
+    A ``ProcessPoolExecutor`` cannot kill one wedged worker (the pool
+    breaks as a unit), so timeouts require owning the processes: each
+    attempt gets a fresh ``mp.Process`` and a result pipe, and the
+    parent multiplexes over the pipes with ``connection.wait``.
+    """
+    ctx = _mp_context()
+    pending = [_Task(key, spec) for key, spec in order]
+    running: List[_Task] = []
+
+    def launch(task: _Task) -> None:
+        task.attempts += 1
+        counters["executed"] += 1
+        parent, child = ctx.Pipe(duplex=False)
+        task.conn = parent
+        task.proc = ctx.Process(target=_task_worker,
+                                args=(child, task.spec), daemon=True)
+        task.proc.start()
+        child.close()                  # parent keeps only its end
+        task.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        running.append(task)
+
+    def reap(task: _Task) -> None:
+        if task.proc is not None:
+            task.proc.join(timeout=5)
+            if task.proc.is_alive():   # pragma: no cover
+                task.proc.kill()
+                task.proc.join()
+        if task.conn is not None:
+            task.conn.close()
+        task.proc = task.conn = task.deadline = None
+
+    def kill(task: _Task) -> None:
+        if task.proc is not None and task.proc.is_alive():
+            task.proc.terminate()
+            task.proc.join(timeout=2)
+            if task.proc.is_alive():
+                task.proc.kill()
+        reap(task)
+
+    def retry_or_fail(task: _Task, why: str) -> None:
+        if task.attempts <= retries:
+            delay = backoff * (2 ** (task.attempts - 1))
+            task.not_before = time.monotonic() + delay
+            pending.append(task)
+        elif fallback is not None and why == "worker died":
+            counters["executed"] -= 1   # run_serial counts its own
+            fallback(task.key, task.spec)
+        else:
+            finish(task.key, task.spec, False,
+                   f"{why} (after {task.attempts} attempt(s))",
+                   0.0, attempts=task.attempts)
+
+    try:
+        while pending or running:
+            now = time.monotonic()
+            # launch everything runnable up to the fan-out limit
+            i = 0
+            while i < len(pending) and len(running) < jobs:
+                if pending[i].not_before <= now:
+                    launch(pending.pop(i))
+                else:
+                    i += 1
+            # pick the earliest wake-up: a result, a timeout, a backoff
+            waits = [t.deadline for t in running
+                     if t.deadline is not None]
+            if pending and len(running) < jobs:
+                waits.extend(t.not_before for t in pending)
+            wait_for = max(min(min((w - now for w in waits),
+                                   default=1.0), 1.0), 0.01)
+            if running:
+                ready = multiprocessing.connection.wait(
+                    [t.conn for t in running], timeout=wait_for)
+            else:
+                time.sleep(wait_for)   # everything is backing off
+                ready = []
+            for conn in ready:
+                task = next(t for t in running if t.conn is conn)
+                running.remove(task)
+                try:
+                    ok, payload, elapsed = conn.recv()
+                except (EOFError, OSError):
+                    reap(task)
+                    retry_or_fail(task, "worker died")
+                    continue
+                reap(task)
+                finish(task.key, task.spec, ok, payload, elapsed,
+                       attempts=task.attempts)
+            if timeout is None:
+                continue
+            now = time.monotonic()
+            for task in [t for t in running
+                         if t.deadline is not None and t.deadline <= now]:
+                running.remove(task)
+                kill(task)
+                retry_or_fail(
+                    task, f"timed out after {timeout:g}s wall clock")
+    except BaseException:
+        # interrupt or internal error: reap every child before leaving
+        for task in running:
+            kill(task)
+        raise

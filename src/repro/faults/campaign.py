@@ -1,0 +1,339 @@
+"""The fault-injection campaign behind ``python -m repro faults``.
+
+Each scenario injects one seeded fault into a small heterogeneous run
+(or into the harness around it) and classifies the outcome:
+
+* ``detected``  — the guardrails fired loudly: an
+  :class:`~repro.guard.InvariantViolation` with a diagnostic dump, a
+  :class:`~repro.exec.CacheIntegrityWarning` with quarantine, or a
+  failed :class:`~repro.exec.RunOutcome` naming the worker's fate.
+* ``tolerated`` — the run completed lawfully and the degradation is
+  *recorded* (result deltas vs. the clean control run, retry counts).
+* ``silent``    — the fault fired but nothing noticed and nothing
+  changed.  Any silent scenario fails the whole campaign: silence is
+  the one outcome a reproduction harness must never produce.
+
+Scenarios are deterministic: the same ``(scale, seed, mix, policy)``
+injects the same faults at the same points every time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import shutil
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+DETECTED = "detected"
+TOLERATED = "tolerated"
+SILENT = "silent"
+
+#: monitor settings for fault runs: tight enough that a dropped request
+#: trips ``inflight_age`` well inside even a smoke-scale run
+CHECK_INTERVAL = 2048
+MAX_AGE = 40_000
+
+
+@dataclass
+class ScenarioOutcome:
+    name: str
+    injected: str                 # what the scenario did
+    classification: str           # detected | tolerated | silent
+    detail: str                   # how it was caught / what degraded
+    fired: int = 0                # injections that actually landed
+
+
+@dataclass
+class CampaignReport:
+    scale: str
+    seed: int
+    mix: str
+    policy: str
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.outcomes) and \
+            all(o.classification != SILENT for o in self.outcomes)
+
+    def counts(self) -> dict:
+        out = {DETECTED: 0, TOLERATED: 0, SILENT: 0}
+        for o in self.outcomes:
+            out[o.classification] += 1
+        return out
+
+    def format(self) -> str:
+        lines = [f"fault campaign: mix={self.mix} policy={self.policy} "
+                 f"scale={self.scale} seed={self.seed}",
+                 f"{'scenario':18s} {'class':10s} detail"]
+        for o in self.outcomes:
+            lines.append(f"{o.name:18s} {o.classification:10s} {o.detail}")
+        c = self.counts()
+        lines.append(f"{len(self.outcomes)} scenario(s): "
+                     f"{c[DETECTED]} detected, {c[TOLERATED]} tolerated, "
+                     f"{c[SILENT]} silent -> "
+                     + ("OK" if self.ok else "CAMPAIGN FAILED"))
+        return "\n".join(lines)
+
+
+# -- helpers -----------------------------------------------------------------
+
+def _monitor():
+    from repro.guard import InvariantMonitor
+    return InvariantMonitor(interval_ticks=CHECK_INTERVAL,
+                            max_inflight_age=MAX_AGE)
+
+
+def _run(cfg_mix_policy, faults=None, monitor=None):
+    from repro.sim.runner import run_system
+    cfg, m, policy = cfg_mix_policy
+    from repro.policies import make_policy
+    return run_system(cfg, m, make_policy(policy), monitor=monitor,
+                      faults=faults)
+
+
+def _degradation(clean, result) -> list:
+    """Human-readable deltas between a faulted run and the control."""
+    deltas = []
+    if result.ticks != clean.ticks:
+        deltas.append(f"ticks {clean.ticks:,}->{result.ticks:,}")
+    if abs(result.fps - clean.fps) > 1e-9:
+        deltas.append(f"fps {clean.fps:.2f}->{result.fps:.2f}")
+    for i in sorted(clean.cpu_ipcs):
+        a, b = clean.cpu_ipcs[i], result.cpu_ipcs.get(i)
+        if b is not None and abs(a - b) > 1e-9:
+            deltas.append(f"ipc[{i}] {a:.3f}->{b:.3f}")
+    if result.llc != clean.llc:
+        deltas.append("llc counters moved")
+    return deltas
+
+
+def _classify_run(name, plan, run_fn, clean) -> ScenarioOutcome:
+    """Run a faulted simulation; violation => detected, completed +
+    recorded degradation => tolerated, anything else => silent."""
+    from repro.guard import InvariantViolation
+    injected = plan.describe()
+    try:
+        result = run_fn(plan)
+    except InvariantViolation as exc:
+        return ScenarioOutcome(name, injected, DETECTED,
+                               f"InvariantViolation[{exc.check}]",
+                               fired=plan.fired())
+    if plan.fired() == 0:
+        return ScenarioOutcome(name, injected, SILENT,
+                               "injector never fired (run too short?)")
+    deltas = _degradation(clean, result)
+    if not deltas:
+        return ScenarioOutcome(name, injected, SILENT,
+                               "fault fired but left no trace",
+                               fired=plan.fired())
+    return ScenarioOutcome(name, injected, TOLERATED,
+                           "degradation recorded: " + ", ".join(deltas),
+                           fired=plan.fired())
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def _scn_drop_cpu(ctx):
+    from repro.faults.injectors import FaultPlan, RequestFault
+    plan = FaultPlan(RequestFault("drop", side="cpu", nth=20,
+                                  seed=ctx["seed"]))
+    return _classify_run("drop-cpu-read", plan,
+                         lambda p: _run(ctx["build"], faults=p,
+                                        monitor=_monitor()),
+                         ctx["clean"])
+
+
+def _scn_drop_gpu(ctx):
+    from repro.faults.injectors import FaultPlan, RequestFault
+    plan = FaultPlan(RequestFault("drop", side="gpu", nth=20,
+                                  seed=ctx["seed"]))
+    return _classify_run("drop-gpu-read", plan,
+                         lambda p: _run(ctx["build"], faults=p,
+                                        monitor=_monitor()),
+                         ctx["clean"])
+
+
+def _scn_duplicate(ctx):
+    from repro.faults.injectors import FaultPlan, RequestFault
+    plan = FaultPlan(RequestFault("duplicate", side="cpu", nth=20,
+                                  seed=ctx["seed"]))
+    return _classify_run("duplicate-read", plan,
+                         lambda p: _run(ctx["build"], faults=p,
+                                        monitor=_monitor()),
+                         ctx["clean"])
+
+
+def _scn_delay(ctx):
+    from repro.faults.injectors import FaultPlan, RequestFault
+    plan = FaultPlan(RequestFault("delay", side="cpu", nth=20,
+                                  delay_ticks=6000, seed=ctx["seed"]))
+    return _classify_run("delay-cpu-read", plan,
+                         lambda p: _run(ctx["build"], faults=p,
+                                        monitor=_monitor()),
+                         ctx["clean"])
+
+
+def _scn_frpu(ctx):
+    from repro.faults.injectors import FaultPlan, FrpuPerturbation
+    plan = FaultPlan(FrpuPerturbation(factor=0.4, seed=ctx["seed"]))
+    return _classify_run("frpu-mispredict", plan,
+                         lambda p: _run(ctx["build"], faults=p,
+                                        monitor=_monitor()),
+                         ctx["clean"])
+
+
+def _scn_cache_corrupt(ctx):
+    """Bit-rot a persisted result; the cache must quarantine + recompute."""
+    from repro.exec import CacheIntegrityWarning, ResultCache, mix_spec
+    from repro.faults.injectors import corrupt_file
+    spec = mix_spec(ctx["mix"], ctx["policy"], ctx["scale"], ctx["seed"])
+    cache = ResultCache(root=ctx["workdir"], salt="faults-campaign")
+    cache.put(spec, ctx["clean"])
+    path = cache.path_for(cache.key_for(spec))
+    offsets = corrupt_file(path, seed=ctx["seed"])
+    fresh = ResultCache(root=ctx["workdir"], salt="faults-campaign")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        got, source = fresh.get(spec)
+    loud = [w for w in caught
+            if issubclass(w.category, CacheIntegrityWarning)]
+    injected = f"flip {len(offsets)} byte(s) of a cached result"
+    if got is not None or source != "miss" or not loud:
+        return ScenarioOutcome("cache-corrupt", injected, SILENT,
+                               f"corrupt file served as {source!r} "
+                               "without a warning", fired=len(offsets))
+    # recompute path: a re-store round-trips cleanly again
+    fresh.put(spec, ctx["clean"])
+    got2, source2 = ResultCache(root=ctx["workdir"],
+                                salt="faults-campaign").get(spec)
+    recovered = source2 == "disk" and got2 == ctx["clean"]
+    return ScenarioOutcome(
+        "cache-corrupt", injected, DETECTED,
+        "CacheIntegrityWarning + quarantine, recompute "
+        + ("verified" if recovered else "FAILED"),
+        fired=len(offsets))
+
+
+def _scn_worker_crash(ctx):
+    from repro.exec import ResultCache, run_many
+    from repro.faults.workers import CrashSpec, SleepSpec
+    cache = ResultCache(root=ctx["workdir"], salt="faults-exec")
+    outs = run_many([CrashSpec(token=ctx["seed"]),
+                     SleepSpec(seconds=0.01, token=ctx["seed"])],
+                    jobs=2, cache=cache, timeout=60.0, retries=0)
+    crash, sleep = outs
+    injected = "SIGKILL one worker mid-batch"
+    if crash.ok or "worker died" not in (crash.error or ""):
+        return ScenarioOutcome("worker-crash", injected, SILENT,
+                               f"crash outcome: ok={crash.ok} "
+                               f"error={crash.error!r}")
+    detail = f"outcome error={crash.error!r}; healthy sibling " + \
+        ("unaffected" if sleep.ok else "ALSO FAILED")
+    cls = DETECTED if sleep.ok else SILENT
+    return ScenarioOutcome("worker-crash", injected, cls, detail, fired=1)
+
+
+def _scn_worker_hang(ctx):
+    from repro.exec import ResultCache, run_many
+    from repro.faults.workers import HangSpec, SleepSpec
+    cache = ResultCache(root=ctx["workdir"], salt="faults-exec")
+    outs = run_many([HangSpec(seconds=120.0, token=ctx["seed"]),
+                     SleepSpec(seconds=0.01, token=ctx["seed"] + 1)],
+                    jobs=2, cache=cache, timeout=1.0, retries=0)
+    hang, sleep = outs
+    injected = "wedge one worker past its 1s timeout"
+    if hang.ok or "timed out" not in (hang.error or ""):
+        return ScenarioOutcome("worker-hang", injected, SILENT,
+                               f"hang outcome: ok={hang.ok} "
+                               f"error={hang.error!r}")
+    detail = f"outcome error={hang.error!r}; healthy sibling " + \
+        ("unaffected" if sleep.ok else "ALSO FAILED")
+    cls = DETECTED if sleep.ok else SILENT
+    return ScenarioOutcome("worker-hang", injected, cls, detail, fired=1)
+
+
+def _scn_worker_flaky(ctx):
+    from repro.exec import ResultCache, run_many
+    from repro.faults.workers import FlakySpec
+    cache = ResultCache(root=ctx["workdir"], salt="faults-exec")
+    spec = FlakySpec(marker_dir=ctx["workdir"], fail_times=1,
+                     token=ctx["seed"])
+    outs = run_many([spec], jobs=1, cache=cache, timeout=60.0,
+                    retries=2, backoff=0.05)
+    out = outs[0]
+    injected = "worker dies on first attempt, healthy on retry"
+    if not out.ok:
+        return ScenarioOutcome("worker-flaky", injected, SILENT,
+                               f"retry did not recover: {out.error!r}",
+                               fired=1)
+    return ScenarioOutcome(
+        "worker-flaky", injected, TOLERATED,
+        f"degradation recorded: succeeded on attempt {out.attempts}",
+        fired=1)
+
+
+_SCENARIOS: dict = {
+    "drop-cpu-read": _scn_drop_cpu,
+    "drop-gpu-read": _scn_drop_gpu,
+    "duplicate-read": _scn_duplicate,
+    "delay-cpu-read": _scn_delay,
+    "frpu-mispredict": _scn_frpu,
+    "cache-corrupt": _scn_cache_corrupt,
+    "worker-crash": _scn_worker_crash,
+    "worker-hang": _scn_worker_hang,
+    "worker-flaky": _scn_worker_flaky,
+}
+
+#: scenarios that need a POSIX fork/spawn process manager
+_NEEDS_MP = ("worker-crash", "worker-hang", "worker-flaky")
+
+
+def scenario_names() -> list:
+    return list(_SCENARIOS)
+
+
+def run_campaign(scale: str = "test", seed: int = 1, mix_name: str = "W8",
+                 policy: str = "throtcpuprio",
+                 only: Optional[list] = None,
+                 progress: Optional[Callable] = None) -> CampaignReport:
+    """Run the fault campaign and classify every scenario.
+
+    The clean control run executes first under the same (tight) monitor
+    settings as every faulted run — a violation there means the
+    guardrails themselves are broken, and the campaign raises rather
+    than classify anything.
+    """
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+
+    names = list(_SCENARIOS) if only is None else list(only)
+    for n in names:
+        if n not in _SCENARIOS:
+            raise KeyError(f"unknown scenario {n!r}; "
+                           f"known: {', '.join(_SCENARIOS)}")
+
+    m = mix_by_name(mix_name)
+    cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    build = (cfg, m, policy)
+    # control run: monitored, un-faulted; InvariantViolation propagates
+    clean = _run(build, monitor=_monitor())
+
+    workdir = tempfile.mkdtemp(prefix="repro-faults-")
+    report = CampaignReport(scale=scale, seed=seed, mix=mix_name,
+                            policy=policy)
+    ctx = {"build": build, "clean": clean, "seed": seed, "mix": mix_name,
+           "policy": policy, "scale": scale, "workdir": workdir}
+    try:
+        for name in names:
+            if name in _NEEDS_MP and not mp.get_all_start_methods():
+                continue               # pragma: no cover
+            outcome = _SCENARIOS[name](ctx)
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report

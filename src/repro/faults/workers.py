@@ -1,0 +1,132 @@
+"""Executor-level fault specs: workers that crash, hang, or dawdle.
+
+These are picklable stand-ins for a :class:`~repro.exec.specs.RunSpec`
+(duck-typed: ``key``/``label``/``run``) whose ``run()`` misbehaves in a
+controlled way.  The fault campaign and the executor failure-path tests
+use them to prove :func:`~repro.exec.executor.run_many` survives worker
+death, enforces timeouts, and salvages completed work on interrupt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+
+def _key(*parts) -> str:
+    canon = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """``run()`` kills its own process with SIGKILL (worker death)."""
+
+    token: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"crash#{self.token}"
+
+    def key(self, salt: str) -> str:
+        return _key(salt, "crash", self.token)
+
+    def run(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class HangSpec:
+    """``run()`` sleeps far past any sane timeout (wedged worker)."""
+
+    seconds: float = 3600.0
+    token: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"hang#{self.token}"
+
+    def key(self, salt: str) -> str:
+        return _key(salt, "hang", self.seconds, self.token)
+
+    def run(self):
+        time.sleep(self.seconds)
+        return {"hung": False}
+
+
+@dataclass(frozen=True)
+class SleepSpec:
+    """``run()`` sleeps briefly, then succeeds (slow-but-healthy)."""
+
+    seconds: float = 0.05
+    token: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"sleep#{self.token}"
+
+    def key(self, salt: str) -> str:
+        return _key(salt, "sleep", self.seconds, self.token)
+
+    def run(self):
+        time.sleep(self.seconds)
+        return {"token": self.token, "slept": self.seconds}
+
+
+@dataclass(frozen=True)
+class FailSpec:
+    """``run()`` raises (ordinary in-process failure, not a crash)."""
+
+    token: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"fail#{self.token}"
+
+    def key(self, salt: str) -> str:
+        return _key(salt, "fail", self.token)
+
+    def run(self):
+        raise RuntimeError(f"injected failure #{self.token}")
+
+
+@dataclass(frozen=True)
+class FlakySpec:
+    """Fails until a marker file accumulates ``fail_times`` attempts.
+
+    Exercises the retry-with-backoff path: the spec crashes its worker
+    on the first ``fail_times`` attempts and succeeds afterwards.  The
+    marker directory provides cross-process attempt memory.
+    """
+
+    marker_dir: str = "."
+    fail_times: int = 1
+    token: int = 0
+
+    @property
+    def label(self) -> str:
+        return f"flaky#{self.token}"
+
+    def key(self, salt: str) -> str:
+        return _key(salt, "flaky", self.fail_times, self.token)
+
+    def _marker(self) -> str:
+        return os.path.join(self.marker_dir,
+                            f"flaky-{self.token}.attempts")
+
+    def run(self):
+        path = self._marker()
+        attempts = 0
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as fh:
+                attempts = int(fh.read().strip() or 0)
+        attempts += 1
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(str(attempts))
+        if attempts <= self.fail_times:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {"token": self.token, "attempts": attempts}

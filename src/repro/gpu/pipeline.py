@@ -366,6 +366,15 @@ class GpuPipeline:
 
     # -- metrics ----------------------------------------------------------------
 
+    def guard_state(self) -> dict:
+        """Occupancy/stall snapshot for the invariant monitor."""
+        return {"outstanding": self.outstanding,
+                "mshr_cap": self.cfg.mshr_entries,
+                "stall": self._stall,
+                "pending_send": self._pending_send is not None,
+                "frames": self.frames_completed,
+                "stopped": self.stopped}
+
     def fps_measured(self, gpu_frame_cycles: int,
                      skip_first: int = 1) -> float:
         """Mean FPS over completed frames (excluding warm-up frames)."""

@@ -295,3 +295,9 @@ class SharedLLC:
                 "gpu_accesses": self._acc["gpu"].value,
                 "cpu_misses": self._miss["cpu"].value,
                 "gpu_misses": self._miss["gpu"].value}
+
+    def guard_state(self) -> dict[str, int]:
+        """Occupancy snapshot for the invariant monitor.  Read-only."""
+        return {"mshr": len(self.mshr), "mshr_cap": self.mshr.capacity,
+                "waiters": len(self._wait),
+                "bypass_lines": len(self._bypass_lines)}

@@ -82,3 +82,14 @@ class MshrFile:
 
     def outstanding(self) -> list[int]:
         return list(self._entries.keys())
+
+    def oldest(self, now: int) -> Optional[tuple[int, int]]:
+        """``(line address, age in ticks)`` of the longest-outstanding
+        entry, or ``None`` when the file is empty.  An entry whose age
+        keeps growing is a fill that never returned — the invariant
+        monitor's leak detector."""
+        if not self._entries:
+            return None
+        addr, entry = min(self._entries.items(),
+                          key=lambda kv: kv[1].issued_at)
+        return addr, now - entry.issued_at

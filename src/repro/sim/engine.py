@@ -182,6 +182,20 @@ class Simulator:
         """Live (scheduled, not cancelled) events — O(1)."""
         return self._live
 
+    def head(self) -> Optional[tuple[int, int]]:
+        """``(tick, bucket length)`` of the earliest pending bucket.
+
+        Read-only introspection for diagnostics (the invariant monitor's
+        dump); ``None`` when the queue is empty.  While the run loop is
+        mid-bucket the executing bucket's tick has already been popped
+        from the heap, so this reports the *next* tick.
+        """
+        if not self._times:
+            return None
+        t = self._times[0]
+        b = self._buckets.get(t)
+        return (t, len(b) if b else 0)
+
     def stop(self) -> None:
         """Request the run loop to exit after the current event."""
         self._stop = True

@@ -24,19 +24,25 @@ from repro.sim.system import HeterogeneousSystem
 
 def run_system(cfg: SystemConfig, mix: Mix,
                policy: Policy | str | None = None,
-               telemetry=None, tracer=None) -> RunResult:
+               telemetry=None, tracer=None, monitor=None,
+               faults=None) -> RunResult:
     """Build, run, and harvest one simulation.
 
     ``telemetry`` (a :class:`repro.telemetry.Telemetry`) records the
     control loop's structured events; ``tracer`` (a
-    :class:`repro.spans.SpanTracer`) samples request-path spans.  Runs
-    with either attached are never cached — the caller owns the
-    recording objects and their sinks.
+    :class:`repro.spans.SpanTracer`) samples request-path spans;
+    ``monitor`` (a :class:`repro.guard.InvariantMonitor`) checks
+    conservation/liveness invariants and raises
+    :class:`~repro.guard.InvariantViolation` on a broken run;
+    ``faults`` (a :class:`repro.faults.FaultPlan`) injects seeded
+    faults.  Runs with any of them attached are never cached — the
+    caller owns the recording/checking objects.
     """
     if isinstance(policy, str):
         policy = make_policy(policy)
     system = HeterogeneousSystem(cfg, mix, policy, telemetry=telemetry,
-                                 tracer=tracer)
+                                 tracer=tracer, monitor=monitor,
+                                 faults=faults)
     system.run()
     return collect(system)
 

@@ -41,13 +41,23 @@ MAX_TICKS = 2_000_000_000
 class HeterogeneousSystem:
     def __init__(self, cfg: SystemConfig, mix: Mix, policy=None, *,
                  sim: Optional[Simulator] = None, telemetry=None,
-                 tracer=None):
+                 tracer=None, monitor=None, faults=None):
         if policy is None:
             from repro.policies.baseline import BaselinePolicy
             policy = BaselinePolicy()
         self.cfg = cfg
         self.mix = mix
         self.policy = policy
+        # ``monitor`` is a repro.guard.InvariantMonitor (or None): it
+        # wraps the CPU/GPU issue hooks below with conservation
+        # accounting and schedules a read-only periodic check event.
+        # ``faults`` is a repro.faults.FaultPlan (or None): its
+        # injectors sit *inside* the monitor wrapper, so an injected
+        # drop/duplicate is visible to the conservation checks.  Both
+        # are wired at construction time; a system built without them
+        # takes the exact same code paths it always did.
+        self.monitor = monitor
+        self.faults = faults
         # ``telemetry`` is a repro.telemetry.Telemetry (or None, the
         # default): every emitting site below guards with ``is not
         # None``, so a telemetry-less run schedules the exact same
@@ -79,6 +89,17 @@ class HeterogeneousSystem:
                              response_delay=self._response_delay)
         self.llc.back_invalidate = self._back_invalidate
 
+        # issue hooks, optionally wrapped (fault injectors innermost so
+        # the monitor sees and accounts for what they perturb)
+        cpu_send = self._cpu_send
+        gpu_send = self._gpu_send
+        if faults is not None:
+            cpu_send = faults.wrap_send(cpu_send, self.sim, side="cpu")
+            gpu_send = faults.wrap_send(gpu_send, self.sim, side="gpu")
+        if monitor is not None:
+            cpu_send = monitor.wrap_issue(cpu_send, self.sim)
+            gpu_send = monitor.wrap_issue(gpu_send, self.sim)
+
         # CPU cores
         self.cores: list[CpuCore] = []
         for i, spec_id in enumerate(mix.cpu_apps):
@@ -88,7 +109,7 @@ class HeterogeneousSystem:
                 base_addr=(1 + i) << CPU_REGION_SHIFT,
                 mem_scale=cfg.scale.mem_scale)
             core = CpuCore(self.sim, cfg.effective_cpu(), i, trace,
-                           llc_send=self._cpu_send,
+                           llc_send=cpu_send,
                            target_instructions=cfg.scale.cpu_instructions,
                            on_target_reached=self._core_done,
                            warmup_instructions=
@@ -114,7 +135,7 @@ class HeterogeneousSystem:
             # standalone GPU runs render max_frames; heterogeneous runs
             # also stop the GPU at max_frames (CPU may finish earlier)
             self.gpu = GpuPipeline(self.sim, cfg.gpu, workload, frames,
-                                   llc_send=self._gpu_send,
+                                   llc_send=gpu_send,
                                    on_frame_done=self._frame_done,
                                    max_frames=cfg.scale.max_frames,
                                    mem_scale=cfg.scale.mem_scale)
@@ -133,6 +154,10 @@ class HeterogeneousSystem:
                 core.tracer = tracer
             if self.gpu is not None:
                 self.gpu.tracer = tracer
+        if monitor is not None:
+            monitor.bind(self)
+        if faults is not None:
+            faults.bind(self)
 
     # -- interconnect plumbing ------------------------------------------------
 
@@ -216,6 +241,8 @@ class HeterogeneousSystem:
         if self.gpu is not None:
             self.gpu.start()
         self.sim.run(until=max_ticks)
+        if self.monitor is not None:
+            self.monitor.verify_final()
         if not self._stopped and self.sim.pending():
             raise RuntimeError(
                 f"simulation hit the {max_ticks}-tick safety cap "

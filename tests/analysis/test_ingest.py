@@ -1,0 +1,86 @@
+"""Hardened JSONL/CSV ingestion: torn tails are skipped and counted,
+never fatal and never silent."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.analysis.ingest import MalformedLineWarning, read_jsonl
+from repro.analysis.latency import SpanReport, load_rows
+from repro.analysis.timeline import Timeline
+
+
+GOOD = [{"type": "run_meta", "mix": "M7"},
+        {"type": "frame", "index": 0, "cycles": 100}]
+
+
+def _write_with_torn_tail(path):
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in GOOD:
+            fh.write(json.dumps(rec) + "\n")
+        fh.write('{"type": "frame", "index": 1, "cyc')   # truncated write
+
+
+def test_read_jsonl_skips_and_warns(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_with_torn_tail(path)
+    with pytest.warns(MalformedLineWarning, match="skipped 1"):
+        rows, skipped = read_jsonl(str(path))
+    assert rows == GOOD and skipped == 1
+
+
+def test_read_jsonl_skips_non_dict_lines(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"a": 1}\n42\n"str"\n\n{"b": 2}\n', encoding="utf-8")
+    with pytest.warns(MalformedLineWarning, match="skipped 2"):
+        rows, skipped = read_jsonl(str(path))
+    assert rows == [{"a": 1}, {"b": 2}] and skipped == 2
+
+
+def test_clean_file_does_not_warn(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in GOOD) + "\n",
+                    encoding="utf-8")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        rows, skipped = read_jsonl(str(path))
+    assert rows == GOOD and skipped == 0
+
+
+def test_timeline_load_survives_torn_tail(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_with_torn_tail(path)
+    with pytest.warns(MalformedLineWarning):
+        tl = Timeline.load(str(path))
+    assert tl.skipped_lines == 1
+    assert tl.meta["mix"] == "M7"
+    assert len(tl.by_type["frame"]) == 1
+
+
+def test_timeline_csv_skips_uncastable_rows(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("type,frame,cycles\nframe,0,100\nframe,1,oops\n",
+                    encoding="utf-8")
+    with pytest.warns(MalformedLineWarning, match="line 3"):
+        tl = Timeline.load(str(path))
+    assert tl.skipped_lines == 1
+    assert tl.by_type["frame"] == [{"type": "frame", "frame": 0,
+                                    "cycles": 100}]
+
+
+def test_span_report_load_survives_torn_tail(tmp_path):
+    path = tmp_path / "s.jsonl"
+    rows = [{"t": "meta", "mix": "M7"},
+            {"t": "span", "src": "cpu0",
+             "stages": [["total", 10], ["dram_service", 4]]}]
+    with open(path, "w", encoding="utf-8") as fh:
+        for r in rows:
+            fh.write(json.dumps(r) + "\n")
+        fh.write('{"t": "span", "src": "cpu0", "stages": [["tot')
+    with pytest.warns(MalformedLineWarning):
+        rep = SpanReport.load(str(path))
+    assert rep.skipped_lines == 1
+    assert len(rep.spans) == 1 and rep.meta["mix"] == "M7"
+    with pytest.warns(MalformedLineWarning):
+        assert len(load_rows(str(path))) == 2

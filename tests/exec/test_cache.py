@@ -3,7 +3,10 @@
 import os
 import pickle
 
-from repro.exec import ResultCache, mix_spec
+import pytest
+
+from repro.exec import CacheIntegrityWarning, ResultCache, mix_spec
+from repro.faults.injectors import corrupt_file
 from repro.sim.metrics import RunResult
 
 
@@ -58,19 +61,63 @@ def test_salt_invalidates(tmp_path):
     assert stale.get(SPEC) == (None, "miss")
 
 
-def test_corrupt_file_is_a_miss(tmp_path):
+def test_corrupt_file_warns_quarantines_and_misses(tmp_path):
     c = ResultCache(root=str(tmp_path), salt="s")
     c.put(SPEC, fake_result())
     path = c.path_for(c.key_for(SPEC))
     with open(path, "wb") as fh:
         fh.write(b"not a pickle")
     fresh = ResultCache(root=str(tmp_path), salt="s")
-    assert fresh.get(SPEC) == (None, "miss")
-    # truncated pickles are misses too
-    with open(path, "wb") as fh:
-        fh.write(pickle.dumps(fake_result())[:10])
+    with pytest.warns(CacheIntegrityWarning, match="bad header"):
+        assert fresh.get(SPEC) == (None, "miss")
+    assert fresh.stats.corrupt == 1
+    assert os.path.exists(path + ".corrupt")   # quarantined, not deleted
+    assert not os.path.exists(path)
+    # truncated files are quarantined misses too
+    c.put(SPEC, fake_result())
+    with open(path, "r+b") as fh:
+        fh.truncate(10)
     fresh2 = ResultCache(root=str(tmp_path), salt="s")
-    assert fresh2.get(SPEC) == (None, "miss")
+    with pytest.warns(CacheIntegrityWarning):
+        assert fresh2.get(SPEC) == (None, "miss")
+
+
+def test_bitflip_fails_checksum_then_recomputes(tmp_path):
+    """A bit-rotted payload trips the content checksum — it is never
+    half-loaded — and a subsequent put()/get() cycle recovers."""
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    path = c.path_for(c.key_for(SPEC))
+    offsets = corrupt_file(path, seed=7)
+    assert offsets
+    fresh = ResultCache(root=str(tmp_path), salt="s")
+    # depending on where the flips land this reads as a mangled header
+    # or a checksum mismatch — both must warn and quarantine
+    with pytest.warns(CacheIntegrityWarning):
+        assert fresh.get(SPEC) == (None, "miss")
+    assert fresh.stats.corrupt == 1
+    # recompute-and-store makes the entry readable again
+    fresh.put(SPEC, fake_result())
+    again = ResultCache(root=str(tmp_path), salt="s")
+    got, source = again.get(SPEC)
+    assert source == "disk" and got == fake_result()
+    assert again.stats.corrupt == 0
+
+
+def test_stale_pickle_with_valid_checksum_is_plain_miss(tmp_path):
+    """Checksum-valid but unpicklable content (schema drift under a
+    pinned salt) is a quiet miss, not corruption."""
+    c = ResultCache(root=str(tmp_path), salt="s")
+    c.put(SPEC, fake_result())
+    path = c.path_for(c.key_for(SPEC))
+    import hashlib
+    from repro.exec.cache import _MAGIC
+    payload = pickle.dumps(fake_result())[:10]   # truncated pickle...
+    with open(path, "wb") as fh:                 # ...with a good digest
+        fh.write(_MAGIC + hashlib.sha256(payload).digest() + payload)
+    fresh = ResultCache(root=str(tmp_path), salt="s")
+    assert fresh.get(SPEC) == (None, "miss")
+    assert fresh.stats.corrupt == 0              # no quarantine, no warning
 
 
 def test_clear_disk_and_usage(tmp_path):

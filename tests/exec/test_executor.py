@@ -86,7 +86,7 @@ def test_failure_is_surfaced_not_poisoning(cache):
     assert "no-such-policy" in str(exc.value)
 
 
-def _suicidal_worker(spec):          # module-level so it pickles
+def _suicidal_worker(conn, spec):    # module-level so it pickles
     import os
     os._exit(17)                     # simulates a segfaulting worker
 
@@ -94,7 +94,7 @@ def _suicidal_worker(spec):          # module-level so it pickles
 @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
 def test_worker_crash_falls_back_to_in_process_retry(cache, monkeypatch):
     """A worker process dying outright must not sink the batch."""
-    monkeypatch.setattr(executor_mod, "_pool_worker", _suicidal_worker)
+    monkeypatch.setattr(executor_mod, "_task_worker", _suicidal_worker)
     outcomes = run_many(SPECS, jobs=2, cache=cache)
     assert all(o.ok for o in outcomes), \
         [o.error for o in outcomes if not o.ok]

@@ -1,0 +1,102 @@
+"""Failure-path tests for the hardened executor: crashed and hung
+workers become reported outcomes, flaky workers are retried with
+backoff, and an interrupt salvages completed results through the cache.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.exec import (BatchInterrupted, ResultCache, counters,
+                        reset_counters, run_many)
+from repro.faults import CrashSpec, FailSpec, FlakySpec, HangSpec, SleepSpec
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="needs fork start method")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=str(tmp_path), salt="hardening")
+
+
+def test_parameter_validation(cache):
+    with pytest.raises(ValueError):
+        run_many([SleepSpec()], cache=cache, timeout=0)
+    with pytest.raises(ValueError):
+        run_many([SleepSpec()], cache=cache, retries=-1)
+    with pytest.raises(ValueError):
+        run_many([SleepSpec()], cache=cache, backoff=-0.1)
+
+
+@needs_fork
+def test_worker_killed_mid_run_is_reported_not_fatal(cache):
+    outs = run_many([CrashSpec(), SleepSpec()], jobs=2, cache=cache,
+                    timeout=60.0)
+    crash, sleep = outs
+    assert not crash.ok and "worker died" in crash.error
+    assert crash.result is None and crash.source == "error"
+    assert sleep.ok and sleep.result["token"] == 0
+
+
+@needs_fork
+def test_hung_worker_is_killed_at_the_timeout(cache):
+    outs = run_many([HangSpec(seconds=300.0), SleepSpec()], jobs=2,
+                    cache=cache, timeout=1.0)
+    hang, sleep = outs
+    assert not hang.ok and "timed out after 1s" in hang.error
+    assert sleep.ok
+
+
+@needs_fork
+def test_flaky_worker_recovers_via_retry_with_backoff(tmp_path, cache):
+    spec = FlakySpec(marker_dir=str(tmp_path), fail_times=1)
+    out = run_many([spec], cache=cache, timeout=60.0, retries=2,
+                   backoff=0.05)[0]
+    assert out.ok and out.attempts == 2
+    assert out.result["attempts"] == 2
+
+
+@needs_fork
+def test_retries_exhausted_reports_attempt_count(tmp_path, cache):
+    spec = FlakySpec(marker_dir=str(tmp_path), fail_times=5)
+    out = run_many([spec], cache=cache, timeout=60.0, retries=1,
+                   backoff=0.05)[0]
+    assert not out.ok
+    assert "worker died (after 2 attempt(s))" in out.error
+
+
+@needs_fork
+def test_ordinary_exception_is_not_retried(cache):
+    out = run_many([FailSpec()], cache=cache, timeout=60.0, retries=3)[0]
+    assert not out.ok and out.attempts == 1
+    assert "injected failure" in out.error
+
+
+def test_interrupt_salvages_completed_results(cache):
+    """A KeyboardInterrupt mid-batch raises BatchInterrupted with the
+    finished slots intact; re-running re-executes only the remainder."""
+    specs = [SleepSpec(seconds=0.0, token=t) for t in range(3)]
+
+    def sabotage(out, i, total):
+        raise KeyboardInterrupt
+
+    with pytest.raises(BatchInterrupted) as exc:
+        run_many(specs, jobs=1, cache=cache, progress=sabotage)
+    outs = exc.value.outcomes
+    assert len(outs) == 3 and exc.value.completed == 1
+    assert outs[0].ok
+    assert [o.error for o in outs[1:]] == ["interrupted", "interrupted"]
+    # the salvaged result is already persisted: only 2 runs remain
+    reset_counters()
+    again = run_many(specs, jobs=1,
+                     cache=ResultCache(root=cache.root, salt=cache.salt))
+    assert all(o.ok for o in again)
+    assert counters["executed"] == 2
+    # and a third pass re-executes nothing at all
+    reset_counters()
+    final = run_many(specs, jobs=1,
+                     cache=ResultCache(root=cache.root, salt=cache.salt))
+    assert counters["executed"] == 0
+    assert [o.source for o in final] == ["disk"] * 3

@@ -1,0 +1,41 @@
+"""The fault campaign: every scenario classified, none silent.
+
+The full test-scale campaign runs in CI (``python -m repro faults``);
+here a representative subset runs at smoke scale to keep the suite fast
+while still covering every classification path (detected via invariant,
+via cache integrity, via the executor, and tolerated-with-degradation).
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.faults import run_campaign, scenario_names
+from repro.faults.campaign import DETECTED, SILENT, TOLERATED
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+
+def test_scenario_registry():
+    names = scenario_names()
+    assert len(names) >= 8
+    with pytest.raises(KeyError):
+        run_campaign(only=["no-such-scenario"])
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+def test_subset_campaign_no_silent_faults():
+    report = run_campaign(
+        scale="smoke", seed=1,
+        only=["duplicate-read", "delay-cpu-read", "cache-corrupt",
+              "worker-crash", "worker-flaky"])
+    assert report.ok
+    by_name = {o.name: o for o in report.outcomes}
+    assert by_name["duplicate-read"].classification == DETECTED
+    assert by_name["cache-corrupt"].classification == DETECTED
+    assert by_name["worker-crash"].classification == DETECTED
+    assert by_name["delay-cpu-read"].classification == TOLERATED
+    assert "degradation recorded" in by_name["delay-cpu-read"].detail
+    assert by_name["worker-flaky"].classification == TOLERATED
+    assert report.counts()[SILENT] == 0
+    assert "OK" in report.format()

@@ -29,7 +29,8 @@ def test_jsonl_round_trip(tmp_path):
     got = load_records(path)
     assert got == [{"type": t, **f} for t, f in RECORDS]
     # one compact JSON object per line, keys sorted (stable diffs)
-    lines = open(path).read().splitlines()
+    with open(path) as fh:
+        lines = fh.read().splitlines()
     assert len(lines) == len(RECORDS)
     keys = list(json.loads(lines[0]))
     assert keys == sorted(keys)
@@ -48,9 +49,13 @@ def test_csv_round_trip_restores_types(tmp_path):
 
 
 def test_open_sink_picks_format(tmp_path):
-    assert type(open_sink(str(tmp_path / "a.csv"))).__name__ == "CsvSink"
-    assert type(open_sink(str(tmp_path / "a.jsonl"))).__name__ == "JsonlSink"
-    assert type(open_sink(str(tmp_path / "a.log"))).__name__ == "JsonlSink"
+    for name, expected in (("a.csv", "CsvSink"), ("a.jsonl", "JsonlSink"),
+                           ("a.log", "JsonlSink")):
+        sink = open_sink(str(tmp_path / name))
+        try:
+            assert type(sink).__name__ == expected
+        finally:
+            sink.close()
 
 
 def test_list_sink_and_multiple_sinks(tmp_path):

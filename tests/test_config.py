@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.config import (CacheConfig, SCALES, default_config)
+from repro.config import (CacheConfig, ConfigError, CpuCoreConfig,
+                          DramConfig, GpuConfig, QosConfig, RingConfig,
+                          SCALES, Scale, SystemConfig, default_config)
 
 
 def test_table1_headline_values():
@@ -25,6 +27,56 @@ def test_table1_headline_values():
 def test_cache_geometry_validation():
     with pytest.raises(ValueError):
         CacheConfig("bad", 1000, 7)
+
+
+def test_construction_time_rejections():
+    """Impossible machines fail at build time with a ConfigError naming
+    the offending field — never as a nonsense simulation result."""
+    cases = [
+        lambda: CacheConfig("z", 0, 8),                 # zero-size cache
+        lambda: CacheConfig("z", 32 * 1024, -1),        # negative ways
+        lambda: CacheConfig("z", 32 * 1024, 8, mshr_entries=0),
+        lambda: CpuCoreConfig(issue_width=0),           # zero-width core
+        lambda: CpuCoreConfig(mlp_limit=-4),
+        lambda: CpuCoreConfig(write_buffer=0),
+        lambda: GpuConfig(shader_cores=0),
+        lambda: GpuConfig(issue_rate=-1),
+        lambda: DramConfig(channels=0),
+        lambda: DramConfig(read_queue=-1),
+        lambda: DramConfig(mapping="diagonal"),
+        lambda: DramConfig(write_drain_lo=0.9,          # lo above hi
+                           write_drain_hi=0.2),
+        lambda: DramConfig(write_drain_hi=1.5),         # outside [0, 1]
+        lambda: RingConfig(hop_ticks=0),
+        lambda: RingConfig(model="mesh"),
+        lambda: QosConfig(target_fps=-30.0),            # negative budget
+        lambda: QosConfig(wg_step=0),
+        lambda: QosConfig(recompute_interval_gpu_cycles=0),
+        lambda: QosConfig(verify_threshold=1.5),        # lambda-like knob
+        lambda: QosConfig(verify_threshold=0.0),
+        lambda: Scale("z", gpu_frame_cycles=0, cpu_instructions=1000),
+        lambda: Scale("z", gpu_frame_cycles=1000, cpu_instructions=-1),
+        lambda: Scale("z", gpu_frame_cycles=1000, cpu_instructions=1000,
+                      min_frames=9, max_frames=3),
+        lambda: SystemConfig(n_cpus=-1),
+        lambda: SystemConfig(gpu_frontend="raytrace"),
+    ]
+    for build in cases:
+        with pytest.raises(ConfigError):
+            build()
+
+
+def test_frpu_rejects_bad_knobs():
+    from repro.core.frpu import FrameRatePredictor
+    for kwargs in ({"ewma_alpha": 0.0}, {"ewma_alpha": 1.5},
+                   {"verify_threshold": 0.0}, {"rtp_entries": 0},
+                   {"skip_frames": -1}):
+        with pytest.raises(ConfigError):
+            FrameRatePredictor(**kwargs)
+
+
+def test_config_error_is_a_value_error():
+    assert issubclass(ConfigError, ValueError)
 
 
 def test_scale_presets_are_ordered():

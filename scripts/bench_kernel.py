@@ -226,6 +226,105 @@ def bench_spans(micro_new_ns: float, reps: int) -> dict:
             "off_equivalent_events": round(norm)}
 
 
+def bench_macro_components(micro_new_ns: float, reps: int) -> dict:
+    """Per-component macro breakdown of an M7 full-system run.
+
+    Two measurements of the same workload (M7, smoke scale, seed 1):
+
+    * an *unprofiled* best-of-N wall time, normalised by the same
+      invocation's micro ns/event into machine-independent "equivalent
+      kernel events" — the macro-speed gate value (smaller is faster);
+    * a *profiled* run whose per-owner callback times fold into
+      component shares (dram/llc/core/gpu/ring/mem + engine overhead)
+      via :meth:`repro.prof.KernelProfile.component_shares` — shares
+      are relative, so they are host-speed-independent and gate which
+      layer regressed, not just that something did.
+    """
+    from repro.config import default_config
+    from repro.mixes import mix as mix_by_name
+    from repro.prof import profile_mix
+    from repro.sim.system import HeterogeneousSystem
+
+    def once():
+        m = mix_by_name("M7")
+        cfg = default_config(scale="smoke", n_cpus=m.n_cpus, seed=1)
+        system = HeterogeneousSystem(cfg, m)
+        t0 = time.perf_counter()
+        system.run()
+        return time.perf_counter() - t0
+
+    wall = min(once() for _ in range(reps))
+    equiv = wall * 1e9 / micro_new_ns
+    _result, prof = profile_mix("M7", scale="smoke")
+    shares = prof.component_shares()
+    print(f"  M7 smoke  wall {wall:6.3f}s = {equiv:,.0f} equiv events "
+          f"({prof.events:,} real events profiled)")
+    print(f"  {'component':10s} {'share':>7s}")
+    for comp, share in shares.items():
+        print(f"  {comp:10s} {100 * share:6.1f}%")
+    return {"mix": "M7", "scale": "smoke",
+            "wall_seconds": round(wall, 3),
+            "equivalent_events": round(equiv),
+            "profiled_events": prof.events,
+            "shares": shares}
+
+
+def _baseline_macro_equiv(baseline: dict) -> float | None:
+    """The committed baseline's M7 macro cost in equivalent events.
+
+    Older baselines predate the ``macro_components`` section; for those
+    the M7 cost is derived from the recorded macro wall time and micro
+    ns/event — the same normalisation, so the comparison stays
+    machine-independent.
+    """
+    mc = baseline.get("macro_components")
+    if mc:
+        return mc["equivalent_events"]
+    macro = baseline.get("macro_full_system", {}).get("M7")
+    micro = baseline.get("micro", {}).get("hetero_dense")
+    if macro and micro:
+        return macro["new_seconds"] * 1e9 / micro["new_ns_per_event"]
+    return None
+
+
+def check_macro_components(result: dict, baseline: dict) -> bool:
+    """CI gates for the macro component section.
+
+    * total M7 macro cost (equivalent events) must stay within 1.10x of
+      the committed baseline — the top-level "did macro runs get
+      slower" gate;
+    * no component's share may grow by more than 30% relative (plus a
+      2-point absolute floor so a 1% component jittering to 1.4%
+      doesn't fail the build) — the "which layer regressed" gate.
+    """
+    ok = True
+    now = result["macro_components"]
+    base_equiv = _baseline_macro_equiv(baseline)
+    if base_equiv:
+        ceiling = 1.10 * base_equiv
+        macro_ok = now["equivalent_events"] <= ceiling
+        ok = ok and macro_ok
+        speedup = base_equiv / now["equivalent_events"]
+        print(f"check[macro]: M7 {now['equivalent_events']:,} equiv "
+              f"events vs baseline {base_equiv:,.0f} (ceiling "
+              f"{ceiling:,.0f}) -> {speedup:.2f}x vs baseline -> "
+              f"{'OK' if macro_ok else 'REGRESSION'}")
+
+    base_shares = (baseline.get("macro_components") or {}).get("shares")
+    if base_shares:
+        print(f"check[components]: {'component':10s} {'base':>7s} "
+              f"{'now':>7s}")
+        for comp, base_share in base_shares.items():
+            now_share = now["shares"].get(comp, 0.0)
+            limit = base_share * 1.30 + 0.02
+            comp_ok = now_share <= limit
+            ok = ok and comp_ok
+            print(f"check[components]: {comp:10s} {100 * base_share:6.1f}% "
+                  f"{100 * now_share:6.1f}% (limit {100 * limit:.1f}%) -> "
+                  f"{'OK' if comp_ok else 'REGRESSION'}")
+    return ok
+
+
 def run_bench(quick: bool) -> dict:
     n_events = 100_000 if quick else 400_000
     reps = 2 if quick else 3
@@ -243,6 +342,9 @@ def run_bench(quick: bool) -> dict:
     print("span tracing (full system, W8 smoke):")
     spans = bench_spans(micro["hetero_dense"]["new_ns_per_event"],
                         max(reps, 3))
+    print("macro per-component breakdown (M7 smoke):")
+    components = bench_macro_components(
+        micro["hetero_dense"]["new_ns_per_event"], 1 if quick else 2)
     geomean = round(math.exp(statistics.fmean(
         math.log(s["speedup"]) for s in micro.values())), 2)
     print(f"headline micro speedup (geomean): {geomean}x")
@@ -265,6 +367,7 @@ def run_bench(quick: bool) -> dict:
         "closure_vs_closure_free": closures,
         "profiling": prof,
         "macro_full_system": macro,
+        "macro_components": components,
         "spans_off": spans,
     }
 
@@ -310,11 +413,24 @@ def main(argv=None) -> int:
                   f"vs baseline {base_ev:,} (ceiling {ceiling:,.0f}) -> "
                   f"{'OK' if spans_ok else 'REGRESSION'}")
 
+        ok = check_macro_components(result, baseline) and ok
+
         out = Path(args.out) if args.out else None
         if out:
             out.write_text(json.dumps(result, indent=2) + "\n")
         return 0 if ok else 1
 
+    # regenerating the baseline: record the macro speedup against the
+    # file being replaced, so the committed JSON carries the evidence
+    # of the hot-path change even after the old numbers are gone
+    if BASELINE.exists():
+        prior = _baseline_macro_equiv(json.loads(BASELINE.read_text()))
+        if prior:
+            now_ev = result["macro_components"]["equivalent_events"]
+            speedup = round(prior / now_ev, 2)
+            result["macro_components"]["speedup_vs_prior_baseline"] = \
+                speedup
+            print(f"M7 macro speedup vs prior baseline: {speedup}x")
     out = Path(args.out) if args.out else BASELINE
     out.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out}")

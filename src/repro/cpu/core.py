@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import hotpath
 from repro.config import CpuCoreConfig
 from repro.cpu.branch import BranchModel
 from repro.cpu.trace import TraceGenerator
@@ -63,6 +64,17 @@ class CpuCore:
         self._ifetch = None
         self._ifetch_idx = 0
         self._fetch_debt = 0
+        #: batched trace walk (see :mod:`repro.hotpath`): the NumPy
+        #: batch arrays are converted to plain Python lists once per
+        #: refill, so the per-memop loop indexes native ints/bools
+        #: instead of materialising a NumPy scalar per field per memop.
+        #: ``tolist()`` is exact for int64/bool, so both walks consume
+        #: identical values (``tests/sim/test_hotpath_golden.py``).
+        self._batched = hotpath.use_batching()
+        self._gaps: Optional[list] = None
+        self._addrs: Optional[list] = None
+        self._writes: Optional[list] = None
+        self._serial: Optional[list] = None
         self.outstanding = 0          # in-flight LLC loads
         self.wb_used = 0              # in-flight LLC stores
         #: line addresses with a fill in flight (L1-MSHR merge: repeat
@@ -119,12 +131,21 @@ class CpuCore:
     # -- the interval loop ----------------------------------------------------
 
     def _refill(self) -> None:
-        self._batch = self.trace.next_batch(4096)
+        b = self._batch = self.trace.next_batch(4096)
         self._idx = 0
+        if self._batched:
+            self._gaps = b.gaps.tolist()
+            self._addrs = b.addrs.tolist()
+            self._writes = b.writes.tolist()
+            self._serial = b.serial.tolist()
         self._ifetch = self.trace.ifetch_addresses(4096)
+        if self._batched:
+            self._ifetch = self._ifetch.tolist()
         self._ifetch_idx = 0
 
     def _run_chunk(self) -> None:
+        if self._batched:
+            return self._run_chunk_batched()
         sim_now = self.sim.now
         deadline = sim_now + QUANTUM
         for _ in range(CHUNK):
@@ -157,6 +178,59 @@ class CpuCore:
                 break
         self._schedule_at_time()
 
+    def _run_chunk_batched(self) -> None:
+        """The default trace walk: identical op sequence to
+        :meth:`_run_chunk`'s legacy loop, but indexing the plain-list
+        copies of the batch arrays — native ints/bools, no NumPy scalar
+        extraction per field per memop — with the loop-invariant method
+        and field lookups hoisted out of the loop.  Every arithmetic
+        operation (including the two separate float adds into
+        ``_time``) is kept in the legacy order so both walks stay
+        bit-identical."""
+        deadline = self.sim.now + QUANTUM
+        gaps = self._gaps
+        addrs = self._addrs
+        writes = self._writes
+        serial = self._serial
+        n_batch = 0 if self._batch is None else self._batch.n
+        retire = self._retire
+        charge = self.branches.charge
+        access = self._access_data
+        ipc = self.ipc
+        for _ in range(CHUNK):
+            if self._stall is not None:
+                return
+            i = self._idx
+            if i >= n_batch:
+                self._refill()
+                gaps = self._gaps
+                addrs = self._addrs
+                writes = self._writes
+                serial = self._serial
+                n_batch = self._batch.n
+                i = 0
+            self._idx = i + 1
+            g1 = gaps[i] + 1
+            retire(g1)
+            self._time += g1 / ipc
+            self._time += charge(g1)
+            debt = self._fetch_debt + g1
+
+            if debt >= 16:
+                self._fetch_debt = debt - 16
+                self._do_ifetch()
+                if self._stall is not None:
+                    return
+            else:
+                self._fetch_debt = debt
+
+            access(addrs[i], writes[i], serial[i])
+            if self._stall is not None:
+                return
+            if self._time > deadline:
+                break
+        self._schedule_at_time()
+
     def _schedule_at_time(self) -> None:
         if not self._running:
             self._running = True
@@ -179,6 +253,8 @@ class CpuCore:
     def _do_ifetch(self) -> None:
         if self._ifetch is None or self._ifetch_idx >= len(self._ifetch):
             self._ifetch = self.trace.ifetch_addresses(4096)
+            if self._batched:
+                self._ifetch = self._ifetch.tolist()
             self._ifetch_idx = 0
         addr = int(self._ifetch[self._ifetch_idx])
         self._ifetch_idx += 1

@@ -11,7 +11,8 @@ class Bank:
     """Row-buffer state + earliest next-command time for one bank."""
 
     __slots__ = ("index", "open_row", "ready_at", "row_hits", "row_misses",
-                 "row_conflicts", "activations", "queued")
+                 "row_conflicts", "activations", "queued", "queued_r",
+                 "queued_w")
 
     def __init__(self, index: int):
         self.index = index
@@ -25,6 +26,13 @@ class Bank:
         #: the controller: +1 at enqueue, -1 when the command issues) —
         #: the per-bank queue-depth gauge span tracing reports
         self.queued = 0
+        #: the same population split by direction — the controller's
+        #: batched issue scan decides "does any ready bank hold a
+        #: candidate?" from these two counters in O(banks) instead of
+        #: walking the request queues (``queued == queued_r + queued_w``
+        #: always; checked by the invariant monitor's bank accounting)
+        self.queued_r = 0
+        self.queued_w = 0
 
     def row_state(self, row: int) -> str:
         if self.open_row is None:
@@ -39,6 +47,13 @@ class Bank:
         Returns ``(data_start, done)`` in ticks and advances the bank
         state.  The caller enforces the command-bus rate and the shared
         data bus (``bus_free_at``).
+
+        Boundary convention (audited, pinned by
+        ``tests/dram/test_timing_exact.py``): ``ready_at`` is the first
+        tick a command *may* issue, so issuing at ``now == ready_at`` is
+        legal and only ``now < ready_at`` is a protocol violation.  The
+        data bus is symmetric — a transfer occupies ``[data_start,
+        done)`` and the next one may start at exactly ``done``.
         """
         if now < self.ready_at:
             raise RuntimeError(

@@ -6,19 +6,55 @@ pluggable access scheduler (FR-FCFS by default).  Command issue is paced
 at one command per DRAM cycle; bank-level parallelism emerges because a
 bank only blocks its own next command while the data bus serialises the
 actual transfers.
+
+Batched issue path
+------------------
+``_try_issue`` fires once per DRAM command cycle while work is queued,
+and most firings are *no-op polls*: every ready bank is waiting on
+something else (typically writes parked below the drain watermark while
+reads are outstanding).  The legacy path priced each poll at O(queue) —
+a per-entry issuable scan plus a per-entry retry-hint scan.  The batched
+path (default, see :mod:`repro.hotpath`) answers both questions in a
+*single* O(banks) pass: ``Bank.queued_r``/``queued_w`` mirror exactly
+the queue membership the legacy scans walked, so the candidate list,
+the selection, *and the retry tick* are all identical — the poll
+*cadence* is deliberately preserved, because each poll's position in
+the kernel's ``(time, seq)`` order decides whether it observes a
+same-tick enqueue or completion, making the re-poll chain semantically
+visible.  (A sharper hint that skipped the parked-writes re-polls was
+tried and measurably diverged the simulation; see
+:meth:`MemoryController._batched_poll`.)  The issue sequence, and
+therefore every simulated result, is unchanged; only the per-poll cost
+drops from O(queue) to O(banks).  The fast
+path is enabled only under the preconditions that make the equivalence
+provable (a queue-transparent FR-FCFS-family scheduler and tFAW
+disabled — the default configuration); anything else takes the legacy
+path.  Bit-identity of the two paths is enforced by
+``tests/sim/test_hotpath_golden.py``.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
+from repro import hotpath
 from repro.config import DRAM_CYCLE_TICKS, DramConfig, LINE_BYTES
 from repro.dram.bank import Bank
-from repro.dram.schedulers import FrFcfsScheduler, SmsScheduler
+from repro.dram.schedulers import (CpuPriorityScheduler, DynPrioScheduler,
+                                   FrFcfsScheduler, SmsScheduler)
 from repro.dram.timing import TimingTicks
 from repro.mem.request import MemRequest
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatSet
+
+#: scheduler types whose ``select`` is pure and whose reads all live in
+#: ``read_q`` (``on_enqueue`` never absorbs) — the provable-equivalence
+#: precondition for the batched issue path.  Exact types, not
+#: ``isinstance``: a subclass may override ``select`` with side effects
+#: the batched no-op path would skip.
+_BATCH_SAFE_SCHEDULERS = (FrFcfsScheduler, CpuPriorityScheduler,
+                          DynPrioScheduler)
 
 #: closure-free completion: ``at_call(t, _COMPLETE, req)`` avoids
 #: allocating a ``req.complete`` bound method per served transaction
@@ -80,10 +116,33 @@ class MemoryController:
                              if cfg.mapping == "row"
                              else self._line_shift)
         lines_per_row = cfg.row_bytes // line_bytes
+        if lines_per_row < 1 or lines_per_row & (lines_per_row - 1):
+            # the shift/mask decomposition below silently corrupts the
+            # bank/row mapping for non-power-of-two geometries
+            raise ValueError(
+                f"row_bytes/line_bytes must be a power of two, got "
+                f"{cfg.row_bytes}/{line_bytes}")
         self._col_bits = lines_per_row.bit_length() - 1
         self._col_mask = lines_per_row - 1
         self._bank_bits = (nbanks - 1).bit_length() if nbanks > 1 else 0
         self._bank_mask = nbanks - 1
+
+        # drain watermarks, precomputed once.  ``hi`` rounds *up*: the
+        # queue drains when it is at least ``write_drain_hi`` full, and
+        # with e.g. 64 * 0.8 = 51.2 the first integer occupancy at or
+        # above 80% is 52 — truncation fired one entry early (the
+        # off-by-one class this module was audited for).  ``lo`` rounds
+        # down for the symmetric reason: draining stops once occupancy
+        # is at or below the fraction.
+        self._drain_hi = math.ceil(cfg.write_queue * cfg.write_drain_hi)
+        self._drain_lo = math.floor(cfg.write_queue * cfg.write_drain_lo)
+
+        #: batched issue path (see module docstring): per-bank counter
+        #: scans replace the per-entry queue walks.  Decided once at
+        #: construction — the preconditions cannot change mid-run.
+        self._fast = (hotpath.use_batching()
+                      and self.timing.t_faw <= 0
+                      and type(self.scheduler) in _BATCH_SAFE_SCHEDULERS)
 
         self.stats = StatSet(f"mc{channel_id}")
         s = self.stats
@@ -117,7 +176,12 @@ class MemoryController:
     def enqueue(self, req: MemRequest) -> None:
         bank, row = self.map_address(req.addr)
         entry = PendingReq(req, row, bank, self.sim.now)
-        self.banks[bank].queued += 1
+        b = self.banks[bank]
+        b.queued += 1
+        if entry.is_write:
+            b.queued_w += 1
+        else:
+            b.queued_r += 1
         if req.span is not None:
             now = self.sim.now
             req.span.stamp("dram_enqueue", now)
@@ -150,7 +214,10 @@ class MemoryController:
             if self._try_event.time <= t:
                 return
             self._try_event.cancel()
-        self._try_event = self.sim.at(t, self._try_issue)
+        # closure-free: ``at_call`` with the plain function avoids a
+        # bound-method allocation per (re)arm; profiling still keys it
+        # as ``MemoryController._try_issue`` via ``__qualname__``
+        self._try_event = self.sim.at_call(t, _TRY_ISSUE, self)
 
     def _apply_refreshes(self) -> None:
         """All-bank refresh, applied lazily at command-issue time.
@@ -189,23 +256,31 @@ class MemoryController:
                 and not self._faw_blocked(e)]
 
     def _update_drain(self) -> None:
-        hi = int(self.cfg.write_queue * self.cfg.write_drain_hi)
-        lo = int(self.cfg.write_queue * self.cfg.write_drain_lo)
-        if not self._draining and len(self.write_q) >= hi:
-            self._draining = True
-        elif self._draining and len(self.write_q) <= lo:
+        if not self._draining:
+            if len(self.write_q) >= self._drain_hi:
+                self._draining = True
+        elif len(self.write_q) <= self._drain_lo:
             self._draining = False
 
     def _try_issue(self) -> None:
         self._try_event = None
         self._apply_refreshes()
         self._update_drain()
-        candidates: list[PendingReq] = []
-        if self._draining:
-            candidates.extend(self._issuable(self.write_q))
-        candidates.extend(self._issuable(self.read_q))
-        if not candidates and self.write_q and self._pending_reads() == 0:
-            candidates.extend(self._issuable(self.write_q))
+        if self._fast:
+            candidates, hint = self._batched_poll()
+            if candidates is None:    # the common no-op poll, O(banks)
+                if hint is not None:
+                    now = self.sim.now
+                    self._kick(hint if hint > now else now + 1)
+                return
+        else:
+            candidates = []
+            if self._draining:
+                candidates.extend(self._issuable(self.write_q))
+            candidates.extend(self._issuable(self.read_q))
+            if not candidates and self.write_q \
+                    and self._pending_reads() == 0:
+                candidates.extend(self._issuable(self.write_q))
 
         sel = self.scheduler.select(self, candidates)
         if sel is None:
@@ -213,12 +288,80 @@ class MemoryController:
             if hint is not None:
                 self._kick(max(hint, self.sim.now + 1))
             return
-        if sel in self.read_q:
+        try:                           # single scan (was: `in` + remove)
             self.read_q.remove(sel)
-        elif sel in self.write_q:
-            self.write_q.remove(sel)
+        except ValueError:
+            try:
+                self.write_q.remove(sel)
+            except ValueError:
+                pass                   # SMS batch entries bypass read_q
         self._service(sel)
         self._kick(self.sim.now + DRAM_CYCLE_TICKS)
+
+    def _batched_poll(self) -> tuple[Optional[list[PendingReq]],
+                                     Optional[int]]:
+        """One O(banks) pass answering both poll questions at once:
+        ``(candidates, retry_hint)``.
+
+        ``candidates`` is exactly the legacy candidate list, or ``None``
+        when no eligible bank can accept a command at ``now`` — the
+        per-bank ``queued_r``/``queued_w`` counters mirror queue
+        membership, so "some ready bank holds eligible work" is
+        equivalent to "the per-entry scan would find a candidate".  When
+        ``candidates`` is ``None``, ``retry_hint`` is the min
+        ``ready_at`` over every queued bank — the *same* value the
+        legacy :meth:`_retry_hint` computes per-entry (and ``None`` when
+        the queues are empty), so the caller re-arms at the identical
+        tick and the poll cadence is byte-for-byte the legacy one.
+
+        The hint is deliberately *not* sharpened to the next
+        eligible-issue tick: with writes parked below the drain
+        watermark the legacy hint is a ready write bank's past
+        ``ready_at``, producing a ``now + 1`` re-poll every tick.  Those
+        polls look like no-ops but their scheduled events occupy
+        positions in the kernel's ``(time, seq)`` order, so the poll
+        that eventually issues can run before or after a same-tick
+        enqueue or completion depending on *when it was scheduled* —
+        skipping the chain was tried and measurably diverged full-system
+        runs.  Cheapening each poll is safe; moving it is not.
+
+        Preconditions (``self._fast``): tFAW disabled (``_issuable``
+        degenerates to the ready-bank filter) and a scheduler that
+        absorbs nothing at enqueue.
+        """
+        now = self.sim.now
+        banks = self.banks
+        best = None
+        if self._draining:
+            for b in banks:
+                if not b.queued:
+                    continue
+                r = b.ready_at
+                if r <= now:      # any queued work is eligible in drain
+                    out = [e for e in self.write_q
+                           if banks[e.bank].ready_at <= now]
+                    out += [e for e in self.read_q
+                            if banks[e.bank].ready_at <= now]
+                    return out, None
+                if best is None or r < best:
+                    best = r
+            return None, best
+        for b in banks:
+            if not b.queued:
+                continue
+            r = b.ready_at
+            if best is None or r < best:
+                best = r
+            if r <= now and b.queued_r:
+                return [e for e in self.read_q
+                        if banks[e.bank].ready_at <= now], None
+        if self.write_q and not self.read_q and best is not None \
+                and best <= now:
+            out = [e for e in self.write_q
+                   if banks[e.bank].ready_at <= now]
+            if out:
+                return out, None
+        return None, best
 
     def _retry_hint(self) -> Optional[int]:
         if self.queue_depth() == 0:
@@ -243,6 +386,10 @@ class MemoryController:
     def _service(self, entry: PendingReq) -> None:
         bank = self.banks[entry.bank]
         bank.queued -= 1
+        if entry.is_write:
+            bank.queued_w -= 1
+        else:
+            bank.queued_r -= 1
         now = max(self.sim.now, bank.ready_at)
         if self.timing.t_faw > 0 and bank.row_state(entry.row) != "hit":
             self._act_times.append(now)
@@ -301,6 +448,11 @@ class MemoryController:
         total = hits + sum(b.row_misses + b.row_conflicts
                            for b in self.banks)
         return hits / total if total else 0.0
+
+
+#: unbound hot-path callback for closure-free ``_kick`` scheduling
+#: (``at_call(t, _TRY_ISSUE, self)``) — no bound method per re-arm
+_TRY_ISSUE = MemoryController._try_issue
 
 
 class DramSystem:

@@ -7,9 +7,24 @@ derives the per-access latency classes used by the bank state machine.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.config import DRAM_CYCLE_TICKS, DramTiming
+
+
+def _to_ticks(cycles, cycle_ticks: int) -> int:
+    """Convert a cycle count to integer ticks, rounding *up*.
+
+    ``DramTiming`` fields are integer DRAM cycles by convention, but
+    nothing stops a caller from deriving them from nanosecond datasheet
+    values and passing a float.  ``int()`` truncation would then
+    *shorten* the constraint — a protocol violation that under-waits —
+    and a raw multiply would silently float-taint every ``ready_at``
+    comparison downstream.  Ceiling is exact for ints and conservative
+    for fractions (pinned by ``tests/dram/test_timing_exact.py``).
+    """
+    return math.ceil(cycles * cycle_ticks)
 
 
 @dataclass(frozen=True)
@@ -32,17 +47,17 @@ class TimingTicks:
     def from_timing(cls, t: DramTiming,
                     cycle_ticks: int = DRAM_CYCLE_TICKS) -> "TimingTicks":
         return cls(
-            t_cas=t.t_cas * cycle_ticks,
-            t_rcd=t.t_rcd * cycle_ticks,
-            t_rp=t.t_rp * cycle_ticks,
-            t_ras=t.t_ras * cycle_ticks,
-            burst=t.burst_cycles * cycle_ticks,
-            t_wr=t.t_wr * cycle_ticks,
-            t_wtr=t.t_wtr * cycle_ticks,
-            t_rtp=t.t_rtp * cycle_ticks,
-            t_refi=t.t_refi * cycle_ticks,
-            t_rfc=t.t_rfc * cycle_ticks,
-            t_faw=t.t_faw * cycle_ticks,
+            t_cas=_to_ticks(t.t_cas, cycle_ticks),
+            t_rcd=_to_ticks(t.t_rcd, cycle_ticks),
+            t_rp=_to_ticks(t.t_rp, cycle_ticks),
+            t_ras=_to_ticks(t.t_ras, cycle_ticks),
+            burst=_to_ticks(t.burst_cycles, cycle_ticks),
+            t_wr=_to_ticks(t.t_wr, cycle_ticks),
+            t_wtr=_to_ticks(t.t_wtr, cycle_ticks),
+            t_rtp=_to_ticks(t.t_rtp, cycle_ticks),
+            t_refi=_to_ticks(t.t_refi, cycle_ticks),
+            t_rfc=_to_ticks(t.t_rfc, cycle_ticks),
+            t_faw=_to_ticks(t.t_faw, cycle_ticks),
         )
 
     def access_ticks(self, row_state: str) -> int:

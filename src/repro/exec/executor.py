@@ -230,6 +230,14 @@ def _sigterm_to_interrupt():
         return lambda: None
     try:
         prev = signal.getsignal(signal.SIGTERM)
+        if prev is None:
+            # a non-Python handler is installed (set by C code or an
+            # embedding application): getsignal() cannot describe it, so
+            # it cannot be restored — signal.signal(..., None) raises
+            # TypeError, which would have fired from run_many's
+            # ``finally`` and masked the batch outcome.  Leave the
+            # foreign handler alone; salvage then only covers SIGINT.
+            return lambda: None
 
         def handler(signum, frame):
             raise KeyboardInterrupt

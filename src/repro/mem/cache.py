@@ -90,11 +90,17 @@ class Cache:
 
     def probe(self, addr: int) -> Optional[Line]:
         """Lookup with no state change (no replacement update)."""
-        return self._sets[self.set_index(addr)].get(self.tag_of(addr))
+        tag = addr >> self._line_shift
+        return self._sets[tag & self._set_mask].get(tag)
 
     def lookup(self, addr: int, write: bool = False) -> Optional[Line]:
         """Lookup, updating replacement state and dirty bit on hit."""
-        line = self._sets[self.set_index(addr)].get(self.tag_of(addr))
+        # the set index is the tag's low bits (tags keep the set bits),
+        # so one shift feeds both — this is the hottest method in the
+        # package (every L1/L2/LLC access), hence the inlined address
+        # math instead of set_index()/tag_of() calls
+        tag = addr >> self._line_shift
+        line = self._sets[tag & self._set_mask].get(tag)
         if line is not None:
             self._hits.inc()
             self.policy.on_hit(line)
@@ -116,10 +122,10 @@ class Cache:
         The caller is responsible for handling the writeback of a dirty
         eviction and any inclusion actions.
         """
-        s = self._sets[self.set_index(addr)]
-        tag = self.tag_of(addr)
-        if tag in s:                 # already present: treat as touch
-            line = s[tag]
+        tag = addr >> self._line_shift
+        s = self._sets[tag & self._set_mask]
+        line = s.get(tag)
+        if line is not None:         # already present: treat as touch
             self.policy.on_hit(line)
             if write:
                 line.dirty = True
@@ -144,7 +150,8 @@ class Cache:
 
     def invalidate(self, addr: int) -> Optional[Line]:
         """Drop the line if present; returns it (caller checks dirty)."""
-        return self._sets[self.set_index(addr)].pop(self.tag_of(addr), None)
+        tag = addr >> self._line_shift
+        return self._sets[tag & self._set_mask].pop(tag, None)
 
     def flush_owner(self, owner: str) -> int:
         """Invalidate every line belonging to ``owner`` (test helper)."""

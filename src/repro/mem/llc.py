@@ -45,6 +45,10 @@ class SharedLLC:
         self.sim = sim
         self.cfg = cfg
         self.cache = Cache(cfg.cache_config())
+        #: precomputed line mask — ``access`` aligns every address and
+        #: runs once per LLC-bound request, so the mask math is inlined
+        #: there instead of calling :meth:`line_addr`
+        self._line_mask = ~(cfg.line_bytes - 1)
         self.mshr = MshrFile(cfg.mshr_entries, "llc_mshr")
         self.dram_send = dram_send
         self.response_delay = response_delay
@@ -111,8 +115,9 @@ class SharedLLC:
         """A request arrives at the LLC controller."""
         side = self._side(req)
         self._acc[side].inc()
-        self._count_kind(req)
-        addr = self.line_addr(req.addr)
+        if req.is_gpu:
+            self._count_kind(req)
+        addr = req.addr & self._line_mask
 
         if req.is_write:
             self._write(req, addr)

@@ -35,6 +35,32 @@ def owner_of(fn) -> str:
     return getattr(fn, "__qualname__", repr(fn))
 
 
+#: owner-key prefix -> component, for the macro per-component wall-time
+#: breakdown ``scripts/bench_kernel.py`` gates in CI.  Longest match
+#: wins; ``cpu`` catches every per-core owner (``cpu0`` ... ``cpuN``).
+_COMPONENT_PREFIXES = (
+    ("MemoryController", "dram"),
+    ("DramSystem", "dram"),
+    ("Bank", "dram"),
+    ("SharedLLC", "llc"),
+    ("MshrFile", "llc"),
+    ("Cache", "llc"),
+    ("MemRequest", "mem"),            # completion delivery fan-out
+    ("GpuPipeline", "gpu"),
+    ("HeterogeneousSystem", "ring"),  # interconnect send hooks
+    ("cpu", "core"),
+)
+
+
+def component_of(owner_key: str) -> str:
+    """Map a profile owner key (``cpu0._activate``,
+    ``MemoryController._try_issue``) onto its component layer."""
+    for prefix, component in _COMPONENT_PREFIXES:
+        if owner_key.startswith(prefix):
+            return component
+    return "other"
+
+
 class KernelProfile:
     """Per-owner event counts and wall-time breakdown of one or more
     :meth:`Simulator.run` calls."""
@@ -53,6 +79,28 @@ class KernelProfile:
         """Run-loop overhead: time in run() not spent in callbacks."""
         return max(self.run_time - self.event_time, 0.0)
 
+    def component_shares(self) -> dict[str, float]:
+        """Fraction of total run wall time per component layer.
+
+        Owner callback time is folded through :func:`component_of`;
+        the run loop's own overhead is reported as ``engine``.  Shares
+        sum to 1.0 (modulo rounding) and are machine-independent, which
+        is what lets ``scripts/bench_kernel.py`` gate them against a
+        committed baseline: a component whose share balloons has
+        regressed relative to its peers regardless of host speed.
+        """
+        total = self.run_time
+        if total <= 0:
+            return {}
+        by_comp: dict[str, float] = {}
+        for key, (_count, secs) in self.by_owner.items():
+            comp = component_of(key)
+            by_comp[comp] = by_comp.get(comp, 0.0) + secs
+        by_comp["engine"] = self.kernel_time
+        return {comp: round(secs / total, 4)
+                for comp, secs in sorted(by_comp.items(),
+                                         key=lambda kv: -kv[1])}
+
     def as_dict(self) -> dict:
         owners = {
             k: {"events": c, "seconds": round(s, 6)}
@@ -67,6 +115,7 @@ class KernelProfile:
             "events_per_second": round(self.events / self.run_time)
             if self.run_time else 0,
             "cancelled_skipped": self.cancelled_seen,
+            "component_shares": self.component_shares(),
             "owners": owners,
         }
 

@@ -101,6 +101,14 @@ class Simulator:
         self._live = 0                  # scheduled, not cancelled, not run
         self._cancelled = 0             # cancelled but still enqueued
         self._size = 0                  # total enqueued entries
+        #: idle-epoch fast-forward accounting: the run loop advances the
+        #: clock bucket-to-bucket, so any gap between consecutive event
+        #: ticks is skipped in one heap pop.  ``ff_jumps`` counts the
+        #: jumps that crossed at least one empty tick and ``ff_ticks``
+        #: the total ticks never visited — evidence that idle intervals
+        #: cost O(1), not O(interval).
+        self.ff_jumps = 0
+        self.ff_ticks = 0
         #: attached :class:`repro.prof.KernelProfile`, or None (default)
         self.profile = None
 
@@ -200,6 +208,10 @@ class Simulator:
         """Request the run loop to exit after the current event."""
         self._stop = True
 
+    def fast_forward_stats(self) -> dict[str, int]:
+        """Idle-epoch fast-forward counters (see ``__init__``)."""
+        return {"jumps": self.ff_jumps, "ticks_skipped": self.ff_ticks}
+
     def enable_profiling(self):
         """Attach (and return) a :class:`repro.prof.KernelProfile`.
 
@@ -268,6 +280,9 @@ class Simulator:
                     break
             t = times[0]
             if until is not None and t > until:
+                if until > self.now + 1:
+                    self.ff_jumps += 1
+                    self.ff_ticks += until - self.now - 1
                 self.now = until
                 return executed
             heappop(times)
@@ -275,14 +290,22 @@ class Simulator:
             # scheduling at the current tick appends to it and runs in
             # this same pass, in seq order
             bucket = buckets[t]
+            if t > self.now + 1:      # idle epoch: skipped in one pop
+                self.ff_jumps += 1
+                self.ff_ticks += t - self.now - 1
             self.now = t
+            # per-bucket bookkeeping: ``_size``/``_cancelled`` are only
+            # read between buckets (compaction) and from ``head()``, so
+            # they are folded in once per bucket instead of once per
+            # event; ``_live`` backs ``pending()``, which callbacks may
+            # read, and stays exact per event
             i = 0
+            ncancelled = 0
             while i < len(bucket):
                 ev = bucket[i]
                 i += 1
-                self._size -= 1
                 if ev.cancelled:
-                    self._cancelled -= 1
+                    ncancelled += 1
                     continue
                 self._live -= 1
                 ev.sim = None         # a late cancel() must not recount
@@ -295,14 +318,21 @@ class Simulator:
                 if self._stop or executed == max_events:
                     # leave the unexecuted suffix for a later run()
                     del bucket[:i]
+                    self._size -= i
+                    self._cancelled -= ncancelled
                     if bucket:
                         heapq.heappush(times, t)
                     else:
                         del buckets[t]
                     return executed
+            self._size -= i
+            self._cancelled -= ncancelled
             del buckets[t]
         if (until is not None and not self._stop and self.now < until):
             # queue drained before the horizon: advance the clock to it
+            if until > self.now + 1:
+                self.ff_jumps += 1
+                self.ff_ticks += int(until) - self.now - 1
             self.now = int(until)
         return executed
 
@@ -332,18 +362,24 @@ class Simulator:
                         break
                 t = times[0]
                 if until is not None and t > until:
+                    if until > self.now + 1:
+                        self.ff_jumps += 1
+                        self.ff_ticks += until - self.now - 1
                     self.now = until
                     return executed
                 heappop(times)
                 bucket = buckets[t]
+                if t > self.now + 1:
+                    self.ff_jumps += 1
+                    self.ff_ticks += t - self.now - 1
                 self.now = t
                 i = 0
+                ncancelled = 0
                 while i < len(bucket):
                     ev = bucket[i]
                     i += 1
-                    self._size -= 1
                     if ev.cancelled:
-                        self._cancelled -= 1
+                        ncancelled += 1
                         prof.cancelled_seen += 1
                         continue
                     self._live -= 1
@@ -366,13 +402,20 @@ class Simulator:
                     executed += 1
                     if self._stop or executed == max_events:
                         del bucket[:i]
+                        self._size -= i
+                        self._cancelled -= ncancelled
                         if bucket:
                             heapq.heappush(times, t)
                         else:
                             del buckets[t]
                         return executed
+                self._size -= i
+                self._cancelled -= ncancelled
                 del buckets[t]
             if (until is not None and not self._stop and self.now < until):
+                if until > self.now + 1:
+                    self.ff_jumps += 1
+                    self.ff_ticks += int(until) - self.now - 1
                 self.now = int(until)
             return executed
         finally:

@@ -58,18 +58,33 @@ class Histogram:
     def percentile(self, p: float) -> int:
         """Upper bound on the ``p``-th percentile (``p`` in [0, 100]).
 
-        The bucket upper edge, clamped to the observed max (still a
+        The bucket upper edge, clamped to the observed min/max (still a
         valid upper bound, and the report never shows p95 > max).
-        Returns 0 for an empty histogram.  Monotone in ``p``:
-        ``percentile(a) <= percentile(b)`` whenever ``a <= b``.
+        Edge cases are pinned by ``tests/spans/test_histogram.py``:
+        ``percentile(0)`` is exactly the observed min (not the first
+        bucket's upper edge, which can overshoot), ``percentile(100)``
+        is exactly the observed max, an empty histogram returns 0 for
+        every ``p`` (matching the 0 min/max that :meth:`summary`
+        reports), and values outside [0, 100] raise ``ValueError``.
+        Monotone in ``p``: ``percentile(a) <= percentile(b)`` whenever
+        ``a <= b``.
         """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile p={p!r} outside [0, 100]")
         if self.n == 0:
             return 0
+        if p == 0:
+            # the 0th percentile is the minimum; the generic bucket walk
+            # would return the first non-empty bucket's *upper* edge,
+            # which overshoots whenever min is not a bucket boundary
+            return self.min
         need = p / 100.0 * self.n
         cum = 0
         for i, c in enumerate(self.counts):
             cum += c
-            if cum >= need and cum > 0:
+            # need > 0 here (p > 0, n > 0), so cum >= need implies the
+            # bucket walk has passed at least one sample
+            if cum >= need:
                 return min(self.bucket_upper(i), self.max)
         return self.max
 

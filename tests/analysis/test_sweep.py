@@ -56,6 +56,58 @@ def test_sweep_without_variations_runs_base_once():
     assert calls[0][0].n_cpus == 1
 
 
+def test_variation_cache_keys_are_distinct():
+    """Sweeps share one seed across every generated RunSpec; the specs
+    must still hash to distinct ResultCache keys whenever the transform
+    actually changes the config (only the cfg repr distinguishes them —
+    mix/policy/scale/seed are identical)."""
+    from repro.config import default_config
+    from repro.exec import RunSpec
+    from repro.mixes import mix as mix_by_name
+
+    m = mix_by_name("M7")
+    base = default_config(scale="smoke", n_cpus=m.n_cpus, seed=3)
+    variations = (vary_qos(target_fps=[25.0, 35.0], wg_step=[4])
+                  + vary_dram(mapping=["row", "bank-xor"])
+                  + vary_llc_policy(["lru"])
+                  + vary_frontend(["geometry"]))
+    keys = {}
+    for label, transform in variations:
+        cfg = transform(base)
+        spec = RunSpec(mix=m, policy="baseline", scale="smoke", seed=3,
+                       cfg=cfg)
+        keys[spec.key("salt")] = label
+        # the single sweep seed reaches the transformed config intact
+        assert cfg.seed == 3, label
+    assert len(keys) == len(variations), "cache-key collision"
+    # a transform that happens to produce the base config is the one
+    # legitimate collision: identical cfg => identical result
+    (_, ident), = vary_frontend(["procedural"])    # the default frontend
+    assert RunSpec(mix=m, policy="baseline", scale="smoke", seed=3,
+                   cfg=ident(base)).key("salt") == \
+        RunSpec(mix=m, policy="baseline", scale="smoke", seed=3,
+                cfg=base).key("salt")
+
+
+def test_seed_is_honored_per_spec():
+    """Same variation, different sweep seed: the seed lands both in the
+    spec and in the generated config, and the cache keys differ."""
+    from repro.config import default_config
+    from repro.exec import RunSpec
+    from repro.mixes import mix as mix_by_name
+
+    m = mix_by_name("M7")
+    (_, t), = vary_llc_policy(["lru"])
+    keys = set()
+    for seed in (1, 2):
+        base = default_config(scale="smoke", n_cpus=m.n_cpus, seed=seed)
+        cfg = t(base)
+        assert cfg.seed == seed
+        keys.add(RunSpec(mix=m, policy="baseline", scale="smoke",
+                         seed=seed, cfg=cfg).key("salt"))
+    assert len(keys) == 2
+
+
 def test_sweep_live_smoke():
     """One tiny real variation run end to end."""
     rows = sweep("W8", policy="baseline", scale="smoke",

@@ -1,0 +1,155 @@
+"""Exact-cycle regression tests for the DRAM timing arithmetic.
+
+These pin the boundary conventions and rounding behaviour audited for
+off-by-one errors while batching the controller hot path:
+
+* timing-parameter conversion rounds *up* (never ``int()`` truncation,
+  which would under-wait and violate the DDR protocol),
+* ``ready_at`` is the first legal issue tick (``now == ready_at`` is
+  legal, ``now < ready_at`` raises),
+* the shared data bus is half-open: a transfer occupies
+  ``[data_start, done)`` and the next may start at exactly ``done``,
+* the write-drain watermarks round toward the hysteresis band
+  (``hi`` up, ``lo`` down) — ``64 * 0.8 = 51.2`` drains at 52, not 51.
+
+Every assertion is an exact tick count for a scripted request
+sequence; any drift here is a simulated-timing change, not a refactor.
+"""
+
+import math
+
+import pytest
+
+from repro.config import DRAM_CYCLE_TICKS, DramConfig, DramTiming
+from repro.dram.bank import Bank
+from repro.dram.controller import MemoryController
+from repro.dram.timing import TimingTicks
+from repro.mem.request import MemRequest
+from repro.sim.engine import Simulator
+
+T = TimingTicks.from_timing(DramTiming(), cycle_ticks=4)
+
+
+# -- parameter conversion ---------------------------------------------------
+
+def test_integer_cycle_params_convert_exactly():
+    raw = DramTiming()
+    t = TimingTicks.from_timing(raw, cycle_ticks=4)
+    assert (t.t_cas, t.t_rcd, t.t_rp, t.t_ras) == (56, 56, 56, 144)
+    assert (t.burst, t.t_wr, t.t_wtr, t.t_rtp) == (16, 64, 32, 32)
+    assert t.t_rfc == 280 * 4 and t.t_refi == 0 and t.t_faw == 0
+    for name in ("t_cas", "t_rcd", "t_rp", "t_ras", "burst",
+                 "t_wr", "t_wtr", "t_rtp", "t_refi", "t_rfc", "t_faw"):
+        assert type(getattr(t, name)) is int, name
+
+
+def test_fractional_cycle_params_round_up_not_truncate():
+    # datasheet-derived parameters may be fractional cycles; truncation
+    # would shorten the constraint (a protocol violation), so the
+    # conversion must take the ceiling — and must yield real ints so no
+    # float leaks into ready_at comparisons
+    raw = DramTiming(t_cas=13.9, t_rcd=13.75)
+    t = TimingTicks.from_timing(raw, cycle_ticks=4)
+    assert t.t_cas == math.ceil(13.9 * 4) == 56      # int() gives 55
+    assert t.t_rcd == 55                             # 13.75 * 4 is exact
+    assert type(t.t_cas) is int and type(t.t_rcd) is int
+
+
+# -- bank boundary conventions ----------------------------------------------
+
+def test_issue_at_exactly_ready_at_is_legal():
+    b = Bank(0)
+    b.service(1, 0, T, is_write=False, open_page=True, bus_free_at=0)
+    t = b.ready_at
+    # one tick early: protocol violation
+    with pytest.raises(RuntimeError):
+        b.service(1, t - 1, T, is_write=False, open_page=True,
+                  bus_free_at=0)
+    # at exactly ready_at: legal (<, not <=, in the legality check)
+    start, done = b.service(1, t, T, is_write=False, open_page=True,
+                            bus_free_at=0)
+    assert start == t + T.t_cas and done == start + T.burst
+
+
+def test_data_bus_is_half_open():
+    # a transfer owns [data_start, done); the next may start at done
+    b0, b1 = Bank(0), Bank(1)
+    _, done = b0.service(1, 0, T, is_write=False, open_page=True,
+                         bus_free_at=0)
+    start2, done2 = b1.service(1, 0, T, is_write=False, open_page=True,
+                               bus_free_at=done)
+    assert start2 == done                 # back-to-back, no dead tick
+    assert done2 == done + T.burst
+
+
+def test_write_recovery_exact_ready_tick():
+    b = Bank(0)
+    _, done = b.service(1, 0, T, is_write=True, open_page=True,
+                        bus_free_at=0)
+    assert done == T.t_rcd + T.t_cas + T.burst == 128
+    assert b.ready_at == done + T.t_wr == 192
+
+
+# -- scripted controller sequence -------------------------------------------
+
+def _controller():
+    sim = Simulator()
+    return sim, MemoryController(sim, DramConfig(), 0)
+
+
+def test_scripted_sequence_exact_completion_ticks():
+    """closed -> hit -> write -> post-write read, pinned to the tick.
+
+    DDR3-2133 14-14-14 at 4 ticks/cycle: tRCD = tCAS = 56, burst = 16,
+    tWR = 64.
+    """
+    sim, mc = _controller()
+    assert DRAM_CYCLE_TICKS == 4
+    times = {}
+
+    def track(name):
+        return MemRequest(0 if name != "hit" else 128, False, "cpu0",
+                          on_done=lambda r: times.__setitem__(
+                              name, sim.now))
+
+    # 1) cold read, row closed: tRCD + tCAS + burst = 56 + 56 + 16
+    mc.enqueue(track("cold"))
+    sim.run()
+    assert times["cold"] == 128
+
+    # 2) row hit to the same row (addr 128 maps to the same bank/row):
+    #    issues at ready_at == 128 exactly, + tCAS + burst
+    mc.enqueue(track("hit"))
+    sim.run()
+    assert times["hit"] == 128 + T.t_cas + T.burst == 200
+
+    # 3) a write with no reads pending issues immediately (row still
+    #    open -> tCAS + burst from the bank-ready tick 200) and extends
+    #    ready_at by tWR
+    done_w = {}
+    mc.enqueue(MemRequest(0, True, "cpu0",
+                          on_done=lambda r: done_w.__setitem__(
+                              "w", sim.now)))
+    sim.run()
+    assert done_w["w"] == 200 + T.t_cas + T.burst == 272
+    bank0 = mc.banks[mc.map_address(0)[0]]
+    assert bank0.ready_at == 272 + T.t_wr == 336
+
+    # 4) a read arriving during write recovery waits until exactly
+    #    ready_at, then pays tCAS + burst
+    mc.enqueue(track("post_write"))
+    sim.run()
+    assert times["post_write"] == 336 + T.t_cas + T.burst == 408
+
+
+def test_drain_watermarks_round_toward_hysteresis_band():
+    # 64 * 0.8 = 51.2: the first occupancy at-or-above 80% is 52 — the
+    # old int() truncation started draining one entry early at 51
+    sim, mc = _controller()
+    assert mc.cfg.write_queue == 64
+    assert mc._drain_hi == 52
+    assert mc._drain_lo == 12             # 64 * 0.2 = 12.8 floors to 12
+    # exact fractions stay exact
+    _, mc10 = _controller()[0], MemoryController(
+        Simulator(), DramConfig(write_queue=10), 0)
+    assert mc10._drain_hi == 8 and mc10._drain_lo == 2

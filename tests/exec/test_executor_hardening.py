@@ -4,11 +4,13 @@ backoff, and an interrupt salvages completed results through the cache.
 """
 
 import multiprocessing as mp
+import signal
 
 import pytest
 
 from repro.exec import (BatchInterrupted, ResultCache, counters,
                         reset_counters, run_many)
+from repro.exec.executor import _sigterm_to_interrupt
 from repro.faults import CrashSpec, FailSpec, FlakySpec, HangSpec, SleepSpec
 
 HAVE_FORK = "fork" in mp.get_all_start_methods()
@@ -100,3 +102,40 @@ def test_interrupt_salvages_completed_results(cache):
                      cache=ResultCache(root=cache.root, salt=cache.salt))
     assert counters["executed"] == 0
     assert [o.source for o in final] == ["disk"] * 3
+
+
+def test_sigterm_handler_restored_after_interrupt(cache):
+    """The SIGTERM handler installed for the batch must be restored even
+    when the batch exits via BatchInterrupted — a second batch in the
+    same process then behaves identically to the first."""
+    before = signal.getsignal(signal.SIGTERM)
+
+    def sabotage(out, i, total):
+        raise KeyboardInterrupt
+
+    for attempt in range(2):               # second batch == first batch
+        specs = [SleepSpec(seconds=0.0, token=10 * attempt + t)
+                 for t in range(3)]
+        with pytest.raises(BatchInterrupted) as exc:
+            run_many(specs, jobs=1, cache=cache, progress=sabotage)
+        assert exc.value.completed == 1, f"batch {attempt}"
+        assert signal.getsignal(signal.SIGTERM) is before, \
+            f"handler leaked after batch {attempt}"
+    # and a clean (non-interrupted) batch also restores it
+    run_many([SleepSpec(seconds=0.0, token=99)], jobs=1, cache=cache)
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_foreign_sigterm_handler_is_left_alone(monkeypatch):
+    """getsignal() returns None when a non-Python handler is installed;
+    restoring None would raise TypeError from run_many's finally block.
+    The installer must then leave the handler untouched."""
+    before = signal.getsignal(signal.SIGTERM)
+    monkeypatch.setattr(signal, "getsignal", lambda sig: None)
+    restore = _sigterm_to_interrupt()
+    monkeypatch.undo()
+    # nothing was installed...
+    assert signal.getsignal(signal.SIGTERM) is before
+    # ...and the restore callable is a harmless no-op
+    assert restore() is None
+    assert signal.getsignal(signal.SIGTERM) is before

@@ -58,6 +58,61 @@ def test_empty_histogram_is_inert():
     assert h.summary()["max"] == 0
 
 
+def test_percentile_zero_is_exactly_the_min():
+    # the generic bucket walk returns the first non-empty bucket's
+    # *upper* edge, which overshoots whenever min is mid-bucket — p=0
+    # must return the observed min itself
+    h = Histogram()
+    for v in (5, 9, 1000):                # 5 lands in bucket [4, 7]
+        h.record(v)
+    assert h.percentile(0) == h.min == 5
+    assert h.percentile(0) <= h.percentile(0.001)
+
+
+def test_percentile_hundred_is_exactly_the_max():
+    h = Histogram()
+    for v in (3, 70, 12345):
+        h.record(v)
+    assert h.percentile(100) == h.max == 12345
+
+
+def test_percentile_rejects_out_of_range_p():
+    h = Histogram()
+    h.record(1)
+    for bad in (-1, -0.001, 100.001, 200):
+        with pytest.raises(ValueError):
+            h.percentile(bad)
+    empty = Histogram()                    # validation precedes n == 0
+    with pytest.raises(ValueError):
+        empty.percentile(-5)
+
+
+def test_empty_percentile_consistent_with_summary():
+    # every percentile of an empty histogram is 0, matching the 0
+    # min/max summary() reports — no None leaking into one but not
+    # the other
+    h = Histogram()
+    for p in (0, 50, 95, 100):
+        assert h.percentile(p) == 0
+    s = h.summary()
+    assert s["min"] == s["max"] == s["p50"] == s["p95"] == 0
+
+
+def test_percentile_properties_random_samples():
+    # property-style sweep: for many random histograms, percentile is
+    # monotone in p, bounded by [min, max], with exact endpoints
+    rng = random.Random(42)
+    for _ in range(50):
+        h = Histogram()
+        for _ in range(rng.randrange(1, 60)):
+            h.record(rng.randrange(0, 1 << rng.randrange(1, 30)))
+        ps = [0, 1, 25, 50, 75, 95, 99, 100]
+        vals = [h.percentile(p) for p in ps]
+        assert all(a <= b for a, b in zip(vals, vals[1:]))
+        assert vals[0] == h.min and vals[-1] == h.max
+        assert all(h.min <= v <= h.max for v in vals)
+
+
 def test_merge_is_associative_and_matches_pooled():
     rng = random.Random(3)
     parts = [[rng.randrange(0, 1 << 20) for _ in range(200)]

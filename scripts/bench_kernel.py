@@ -269,6 +269,64 @@ def bench_macro_components(micro_new_ns: float, reps: int) -> dict:
             "shares": shares}
 
 
+def bench_service(reps: int) -> dict:
+    """Cold ``run_many`` invocation vs warm daemon submission.
+
+    The serving claim: once a daemon holds a spec's result, submitting
+    that spec again costs a socket round-trip plus a cache lookup — no
+    interpreter start, no worker spawn, no simulation.  ``cold`` times a
+    fresh ``run_many`` call against an empty store (each rep gets a new
+    store, so every rep truly simulates); ``warm`` times client
+    submissions of the same specs against a daemon whose cache already
+    holds them.  The gate asserts warm is >= 10x faster *and* that the
+    daemon executed zero simulations across the repeated submissions
+    (its cache-hit counter accounts for every job).
+    """
+    import tempfile
+
+    from repro.exec import ResultCache, run_many, standalone_cpu_spec
+    from repro.service import ServiceClient, start_daemon_thread
+
+    specs = [standalone_cpu_spec(b, scale="smoke") for b in (403, 429)]
+
+    def cold_once() -> float:
+        store = ResultCache(root=tempfile.mkdtemp(prefix="bench-cold-"))
+        t0 = time.perf_counter()
+        run_many(specs, cache=store, progress=lambda *a: None)
+        return time.perf_counter() - t0
+
+    cold = min(cold_once() for _ in range(reps))
+
+    sock = str(Path(tempfile.mkdtemp(prefix="bench-svc-")) / "svc.sock")
+    cache = ResultCache(root=tempfile.mkdtemp(prefix="bench-warm-"))
+    with start_daemon_thread(socket_path=sock, workers=2,
+                             cache=cache) as handle:
+        client = ServiceClient(sock, client_id="bench")
+        client.submit(specs)                      # populate the store
+        executed_before = handle.daemon.jobs_executed
+        warm = min(min(_timed(client.submit, specs) for _ in range(5))
+                   for _ in range(reps))
+        repeat_executed = handle.daemon.jobs_executed - executed_before
+        hits = handle.daemon.status()["jobs"]["cache_hits"]
+
+    speedup = cold / warm
+    print(f"  cold run_many {cold:6.3f}s   warm submit {warm * 1e3:7.2f}ms"
+          f"   speedup {speedup:.0f}x   repeat sims {repeat_executed} "
+          f"(cache hits {hits})")
+    return {"specs": [s.label for s in specs],
+            "cold_run_many_seconds": round(cold, 4),
+            "warm_submit_seconds": round(warm, 5),
+            "speedup": round(speedup, 1),
+            "repeat_executed": repeat_executed,
+            "cache_hits": hits}
+
+
+def _timed(fn, *args) -> float:
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
 def _baseline_macro_equiv(baseline: dict) -> float | None:
     """The committed baseline's M7 macro cost in equivalent events.
 
@@ -345,6 +403,8 @@ def run_bench(quick: bool) -> dict:
     print("macro per-component breakdown (M7 smoke):")
     components = bench_macro_components(
         micro["hetero_dense"]["new_ns_per_event"], 1 if quick else 2)
+    print("service submission (cold run_many vs warm daemon, cached):")
+    service = bench_service(1 if quick else 2)
     geomean = round(math.exp(statistics.fmean(
         math.log(s["speedup"]) for s in micro.values())), 2)
     print(f"headline micro speedup (geomean): {geomean}x")
@@ -369,6 +429,7 @@ def run_bench(quick: bool) -> dict:
         "macro_full_system": macro,
         "macro_components": components,
         "spans_off": spans,
+        "service_submission": service,
     }
 
 
@@ -414,6 +475,16 @@ def main(argv=None) -> int:
                   f"{'OK' if spans_ok else 'REGRESSION'}")
 
         ok = check_macro_components(result, baseline) and ok
+
+        # the serving gate is self-contained (cold and warm measured in
+        # the same invocation), so no baseline entry is needed
+        svc = result["service_submission"]
+        svc_ok = svc["speedup"] >= 10.0 and svc["repeat_executed"] == 0
+        ok = ok and svc_ok
+        print(f"check[service]: warm submit {svc['speedup']}x faster "
+              f"than cold run_many (floor 10x), {svc['repeat_executed']} "
+              f"sims on repeat (must be 0) -> "
+              f"{'OK' if svc_ok else 'REGRESSION'}")
 
         out = Path(args.out) if args.out else None
         if out:

@@ -38,7 +38,7 @@ DEFAULT_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "ROADMAP.md", "docs/api.md", "docs/architecture.md",
                  "docs/calibration.md", "docs/latency.md",
                  "docs/policies.md", "docs/robustness.md",
-                 "docs/telemetry.md"]
+                 "docs/service.md", "docs/telemetry.md"]
 
 LINK_RE = re.compile(r"(?<!\!)\[[^][]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the simulation service (CI gate).
+
+Boots a real ``python -m repro serve`` daemon as a subprocess, then
+drives it the way CI needs it proven:
+
+1. two *concurrent* clients submit overlapping spec batches over the
+   Unix socket — every outcome must be bit-identical to a direct
+   ``run_many`` on the same specs, and the daemon must have executed
+   each distinct spec exactly once (cross-client coalescing);
+2. a repeat submission must be served entirely from the cache — zero
+   new executions — and the streaming path must deliver the full
+   ``queued``/``started``/``done`` lifecycle;
+3. SIGTERM must drain gracefully: the process exits 0 on its own,
+   removes its socket, and persists cache counters for
+   ``python -m repro cache stats``.
+
+Exits non-zero on the first violated property.  Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exec import ResultCache, run_many, standalone_cpu_spec  # noqa: E402
+from repro.exec.specs import mix_spec  # noqa: E402
+from repro.service import ServiceClient, service_available  # noqa: E402
+
+SERVE_BOOT_TIMEOUT = 30.0
+DRAIN_TIMEOUT = 30.0
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    work = Path(tempfile.mkdtemp(prefix="service-smoke-"))
+    sock = str(work / "svc.sock")
+    cache_dir = str(work / "cache")
+    env = dict(os.environ, PYTHONPATH=str(
+        Path(__file__).resolve().parent.parent / "src"),
+        REPRO_CACHE_DIR=cache_dir)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        deadline = time.monotonic() + SERVE_BOOT_TIMEOUT
+        while not service_available(sock):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                print(proc.stdout.read() if proc.stdout else "")
+                fail("daemon did not come up")
+            time.sleep(0.2)
+        print(f"daemon up (pid {proc.pid}) at {sock}")
+
+        # -- 1. two concurrent clients, overlapping specs ----------------
+        shared = [standalone_cpu_spec(b, scale="smoke")
+                  for b in (403, 429)]
+        batch_a = shared + [mix_spec("W8", "baseline", "smoke")]
+        batch_b = shared + [standalone_cpu_spec(470, scale="smoke")]
+        results: dict[str, list] = {}
+
+        def client(name: str, specs) -> None:
+            results[name] = ServiceClient(sock, client_id=name) \
+                .submit(specs)
+
+        threads = [threading.Thread(target=client, args=("a", batch_a)),
+                   threading.Thread(target=client, args=("b", batch_b))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        for name, specs in (("a", batch_a), ("b", batch_b)):
+            if len(results.get(name, [])) != len(specs):
+                fail(f"client {name} got a misaligned batch")
+            if not all(o.ok for o in results[name]):
+                fail(f"client {name} saw failures: "
+                     f"{[o.error for o in results[name] if not o.ok]}")
+
+        status = ServiceClient(sock, client_id="probe").status()
+        jobs = status["jobs"]
+        distinct = len({s.key(status_salt(sock)) for s in batch_a + batch_b})
+        if jobs["executed"] != distinct:
+            fail(f"expected exactly {distinct} executions for "
+             f"{distinct} distinct specs, daemon ran {jobs['executed']}")
+        print(f"concurrent clients: {jobs['executed']} executions for "
+              f"{distinct} distinct specs (coalesced "
+              f"{jobs['coalesced']}, attached {jobs['attached']})")
+
+        # -- bit-identity vs direct run_many -----------------------------
+        direct = run_many(batch_a + [batch_b[-1]],
+                          cache=ResultCache(root=str(work / "direct")))
+        served = results["a"] + [results["b"][-1]]
+        for d, s in zip(direct, served):
+            if asdict(d.result) != asdict(s.result):
+                fail(f"daemon result differs from direct run_many "
+                     f"for {d.spec.label}")
+        print(f"bit-identity: {len(direct)} outcomes equal direct "
+              "run_many")
+
+        # -- 2. cached repeat with streaming -----------------------------
+        events: list[dict] = []
+        repeat = ServiceClient(sock, client_id="a").submit(
+            batch_a, on_event=events.append)
+        after = ServiceClient(sock, client_id="probe").status()["jobs"]
+        if after["executed"] != jobs["executed"]:
+            fail("repeat submission re-executed cached specs")
+        if not all(o.source in ("memory", "disk") for o in repeat):
+            fail(f"repeat not served from cache: "
+                 f"{[o.source for o in repeat]}")
+        kinds = {e["event"] for e in events}
+        if "done" not in kinds:
+            fail(f"stream delivered no done events: {kinds}")
+        print(f"cached repeat: 0 new executions, sources "
+              f"{[o.source for o in repeat]}, {len(events)} stream "
+              "events")
+
+        # -- 3. graceful SIGTERM drain -----------------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=DRAIN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit after SIGTERM")
+        if rc != 0:
+            print(proc.stdout.read() if proc.stdout else "")
+            fail(f"daemon exited {rc} after SIGTERM")
+        if os.path.exists(sock):
+            fail("daemon left its socket behind")
+        stats = ResultCache(root=cache_dir).persisted_stats()
+        if stats["stores"] <= 0:
+            fail("drain did not persist cache counters")
+        print(f"graceful drain: exit 0, socket removed, persisted "
+              f"stats stores={stats['stores']} "
+              f"hits={stats['memory_hits'] + stats['disk_hits']}")
+        print("service smoke: all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def status_salt(sock: str) -> str:
+    """The daemon's cache-key salt (keys must match its accounting)."""
+    return ServiceClient(sock, client_id="probe").ping()["salt"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,12 @@ Examples::
     python -m repro list
     python -m repro report --experiment fig9 --scale smoke
     python -m repro cache            # show cache location / size / salt
+    python -m repro cache stats      # store-wide hit/miss counters
+    python -m repro cache prune --max-size 512   # LRU eviction (MB)
     python -m repro cache --clear
+    python -m repro serve --workers 4            # simulation service
+    python -m repro run --mix M7 --remote        # route via the daemon
+    python -m repro compare --mix M7 --remote .repro_service.sock
 
 Independent runs route through :mod:`repro.exec`: results persist in the
 on-disk cache (``.repro_cache/`` by default) and ``--jobs N`` (or the
@@ -66,8 +71,37 @@ def _print_telemetry(tel, path: str) -> None:
     print(f"  telemetry: {tel.count()} records -> {path}  ({counts})")
 
 
+def _remote_address(args):
+    """``--remote [ADDR]``: explicit address, or the ``REPRO_SERVICE``
+    env / default socket when given bare.  ``None`` = run locally."""
+    if getattr(args, "remote", None) is None:
+        return None
+    from repro.service import default_address
+    return args.remote or default_address()
+
+
 def cmd_run(args) -> int:
     t0 = time.time()
+    address = _remote_address(args)
+    if address is not None:
+        if args.profile or args.telemetry or args.trace_spans \
+                or args.guard:
+            print("--remote runs through the daemon's cache; "
+                  "--profile/--telemetry/--trace-spans/--guard need a "
+                  "local run", file=sys.stderr)
+            return 2
+        from repro.exec import mix_spec
+        from repro.service import remote_run_many
+        out = remote_run_many([mix_spec(args.mix, args.policy,
+                                        args.scale, args.seed)],
+                              address=address)[0]
+        if not out.ok:
+            print(f"remote run failed: {out.error}", file=sys.stderr)
+            return 1
+        _print_result(out.result, args.scale)
+        print(f"  served from: {out.source} (daemon at {address})")
+        print(f"  wall time: {time.time()-t0:.1f}s")
+        return 0
     if args.profile:
         from repro.prof import profile_mix
         r, prof = profile_mix(args.mix, args.policy, scale=args.scale,
@@ -174,7 +208,13 @@ def cmd_compare(args) -> int:
     policies = args.policies.split(",")
     specs = [mix_spec(args.mix, pol, args.scale, args.seed)
              for pol in policies]
-    outcomes = run_many(specs, progress=_progress)
+    address = _remote_address(args)
+    if address is not None:
+        from repro.service import remote_run_many
+        outcomes = remote_run_many(specs, address=address,
+                                   progress=_progress)
+    else:
+        outcomes = run_many(specs, progress=_progress)
     base_ws = None
     failed = 0
     print(f"{'policy':14s} {'GPU FPS':>8s} {'CPU WS':>8s} {'vs base':>8s}")
@@ -248,18 +288,70 @@ def cmd_latency(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    """Inspect or clear the persistent result cache."""
+    """Inspect, prune, or clear the persistent result cache."""
     from repro.exec import shared_cache
     c = shared_cache()
     if args.clear:
         n = c.clear_disk()
         print(f"removed {n} cached result(s) from {os.path.abspath(c.root)}")
         return 0
+    if args.action == "prune":
+        if args.max_size is None:
+            print("cache prune needs --max-size MB", file=sys.stderr)
+            return 2
+        files, size = c.disk_usage()
+        removed, freed = c.prune(int(args.max_size * 1e6))
+        left, left_size = c.disk_usage()
+        print(f"pruned {removed} file(s) ({freed / 1e6:.1f} MB) "
+              f"from {os.path.abspath(c.root)}")
+        print(f"store now: {left} entries ({left_size / 1e6:.1f} MB), "
+              f"cap {args.max_size:.1f} MB")
+        c.persist_stats()
+        return 0
+    if args.action == "stats":
+        files, size = c.disk_usage()
+        stats = c.persisted_stats()
+        hits = stats["memory_hits"] + stats["disk_hits"]
+        total = hits + stats["misses"]
+        rate = hits / total if total else 0.0
+        print(f"store:      {os.path.abspath(c.root)}")
+        print(f"entries:    {files} ({size / 1e6:.1f} MB)")
+        print(f"hits:       {hits} (memory {stats['memory_hits']}, "
+              f"disk {stats['disk_hits']})")
+        print(f"misses:     {stats['misses']}   hit rate: {rate:.0%}")
+        print(f"stores:     {stats['stores']}   corrupt: "
+              f"{stats['corrupt']}   pruned: {stats['pruned']}")
+        return 0
     files, size = c.disk_usage()
     state = "on" if c.disk_enabled() else "off (REPRO_CACHE=0)"
     print(f"cache dir:  {os.path.abspath(c.root)}  [disk layer {state}]")
     print(f"entries:    {files} ({size / 1e6:.1f} MB)")
     print(f"code salt:  {c.salt}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation service daemon (see docs/service.md)."""
+    from repro.service import ServiceDaemon
+    from repro.service.scheduler import AdmissionController
+    daemon = ServiceDaemon(
+        socket_path=args.socket,
+        http_port=args.http_port,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        admission=AdmissionController(
+            n_g=args.admit_burst, w_g_step=args.admit_step,
+            w_g_max=args.admit_max, target_depth=args.admit_depth))
+    print(f"repro service: socket {os.path.abspath(args.socket)}"
+          + (f", http http://127.0.0.1:{args.http_port}"
+             if args.http_port else "")
+          + f", {args.workers} warm worker(s)")
+    print(f"  cache: {os.path.abspath(daemon.cache.root)}")
+    print("  SIGTERM/SIGINT drains gracefully "
+          "(queued jobs salvage as 'interrupted')")
+    daemon.serve_forever()
+    print("service drained; bye")
     return 0
 
 
@@ -289,8 +381,16 @@ def cmd_sweep(args) -> int:
     """QoS-target sweep on one mix (the headline ablation)."""
     from repro.analysis.sweep import sweep, vary_qos
     targets = [float(x) for x in args.targets.split(",")]
+    executor = None
+    address = _remote_address(args)
+    if address is not None:
+        from repro.service import remote_run_many
+
+        def executor(specs):
+            return remote_run_many(specs, address=address, strict=True)
     rows = sweep(args.mix, policy="throtcpuprio", scale=args.scale,
-                 seed=args.seed, variations=vary_qos(target_fps=targets))
+                 seed=args.seed, variations=vary_qos(target_fps=targets),
+                 executor=executor)
     for row in rows:
         print(f"  {row.label:18s} -> GPU {row.result.fps:6.1f} FPS")
     return 0
@@ -369,10 +469,49 @@ def main(argv=None) -> int:
     p.add_argument("--targets", default="30,40,50")
     p.set_defaults(fn=cmd_sweep)
 
-    p = sub.add_parser("cache", help="inspect/clear the result cache")
+    p = sub.add_parser("cache",
+                       help="inspect/prune/clear the result cache")
+    p.add_argument("action", nargs="?", default="info",
+                   choices=["info", "stats", "prune"],
+                   help="info (default): location/size/salt; stats: "
+                        "store-wide hit/miss counters; prune: LRU "
+                        "eviction down to --max-size")
+    p.add_argument("--max-size", type=float, metavar="MB",
+                   help="prune target: keep at most MB megabytes, "
+                        "evicting least-recently-used results first")
     p.add_argument("--clear", action="store_true",
                    help="delete every persisted result")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser("serve",
+                       help="run the simulation service daemon "
+                            "(warm workers, shared cache, admission "
+                            "control; see docs/service.md)")
+    p.add_argument("--socket", default=".repro_service.sock",
+                   metavar="PATH", help="Unix socket rendezvous "
+                   "(default .repro_service.sock)")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="also serve the HTTP/JSON adapter on "
+                        "127.0.0.1:PORT")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="persistent warm worker processes (default 2)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="per-attempt wall-clock cap; a wedged worker "
+                        "is recycled (default: none)")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="retries for worker death/timeouts (default 1)")
+    p.add_argument("--admit-burst", type=int, default=8, metavar="N_G",
+                   help="per-client burst allowance before gating "
+                        "(default 8)")
+    p.add_argument("--admit-step", type=float, default=0.05,
+                   metavar="S", help="W_G growth step, seconds per "
+                   "job of backlog over target (default 0.05)")
+    p.add_argument("--admit-max", type=float, default=2.0, metavar="S",
+                   help="W_G ceiling in seconds (default 2.0)")
+    p.add_argument("--admit-depth", type=int, default=4, metavar="D",
+                   help="backlog target: no gating at or below this "
+                        "queue depth (default 4)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("faults",
                        help="fault-injection campaign: every fault "
@@ -392,6 +531,13 @@ def main(argv=None) -> int:
         sp.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for independent runs "
                              "(0 = one per core; default: $REPRO_JOBS or 1)")
+    for name in ("run", "compare", "sweep"):
+        sub.choices[name].add_argument(
+            "--remote", nargs="?", const="", default=None,
+            metavar="ADDR",
+            help="route runs through a running `repro serve` daemon "
+                 "(socket path or host:port; bare --remote takes "
+                 "$REPRO_SERVICE or .repro_service.sock)")
 
     # the campaign defaults to test scale: smoke runs are short enough
     # that some scenarios (FRPU misprediction) may never engage

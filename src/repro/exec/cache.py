@@ -32,13 +32,14 @@ Environment knobs:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
 import warnings
 from copy import deepcopy
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.specs import RunSpec
@@ -111,6 +112,13 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0                  # files quarantined on checksum fail
+    pruned: int = 0                   # files evicted by prune()
+
+
+#: file at the store root that accumulates counters across processes —
+#: every client of a shared ``.repro_cache/`` folds its deltas in via
+#: ``persist_stats()``, so ``cache stats`` reports store-wide totals
+STATS_FILE = "stats.json"
 
 
 class ResultCache:
@@ -124,6 +132,9 @@ class ResultCache:
         self._salt = salt
         self._memory: dict = {}
         self.stats = CacheStats()
+        #: counters already folded into the store's stats.json by a
+        #: previous persist_stats() call (so deltas aren't double-counted)
+        self._persisted = CacheStats()
 
     @property
     def salt(self) -> str:
@@ -256,3 +267,111 @@ class ResultCache:
                     except OSError:
                         pass
         return files, size
+
+    def entries(self) -> List[Tuple[str, int, float]]:
+        """Every persisted result as ``(path, bytes, atime)``.
+
+        ``atime`` is the last access (a disk hit re-reads the file, so
+        recently-used entries have fresh atimes even on ``relatime``
+        mounts once a day has passed; ``mtime`` is the fallback bound).
+        """
+        out: List[Tuple[str, int, float]] = []
+        if not os.path.isdir(self.root):
+            return out
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if not name.endswith(".pkl"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    st = os.stat(path)
+                except OSError:
+                    continue
+                out.append((path, st.st_size,
+                            max(st.st_atime, st.st_mtime)))
+        return out
+
+    def prune(self, max_bytes: int) -> Tuple[int, int]:
+        """LRU-by-atime eviction: delete least-recently-*used* results
+        until the store fits in ``max_bytes``.
+
+        Under many clients the shared store only grows — every distinct
+        ``(spec, code-version)`` pair adds a file forever.  Pruning by
+        access time keeps the hot set (what clients actually re-query)
+        and drops results nobody has touched.  Returns
+        ``(files_removed, bytes_removed)``.  Stale debris (``*.tmp``,
+        ``*.corrupt``) is always removed first — it serves no lookup.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        removed = freed = 0
+        if not os.path.isdir(self.root):
+            return 0, 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith((".tmp", ".corrupt")):
+                    path = os.path.join(dirpath, name)
+                    try:
+                        size = os.path.getsize(path)
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    removed += 1
+                    freed += size
+        entries = self.entries()
+        total = sum(size for _p, size, _a in entries)
+        entries.sort(key=lambda e: e[2])          # oldest access first
+        for path, size, _atime in entries:
+            if total <= max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            freed += size
+            self.stats.pruned += 1
+        return removed, freed
+
+    # -- store-wide persisted counters ---------------------------------------
+
+    def _stats_path(self) -> str:
+        return os.path.join(self.root, STATS_FILE)
+
+    def persisted_stats(self) -> dict:
+        """Counters accumulated in the store's ``stats.json`` by every
+        process that called :meth:`persist_stats` (zeroes if none)."""
+        try:
+            with open(self._stats_path(), encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {k: 0 for k in asdict(CacheStats())}
+        return {k: int(data.get(k, 0)) for k in asdict(CacheStats())}
+
+    def persist_stats(self) -> dict:
+        """Fold this process's counter deltas into ``stats.json``.
+
+        Called by long-lived owners of a shared store (the service
+        daemon on shutdown and periodically, the CLI after batch
+        commands).  Merge is read-add-write with an atomic replace:
+        concurrent writers may lose each other's *latest* delta, never
+        corrupt the file — acceptable for monitoring counters.
+        Returns the merged store-wide totals.
+        """
+        current = asdict(self.stats)
+        last = asdict(self._persisted)
+        delta = {k: current[k] - last[k] for k in current}
+        merged = self.persisted_stats()
+        for k, v in delta.items():
+            merged[k] = merged.get(k, 0) + v
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(merged, fh, indent=0, sort_keys=True)
+            os.replace(tmp, self._stats_path())
+            self._persisted = CacheStats(**current)
+        except OSError:
+            pass                      # best-effort, like put()
+        return merged

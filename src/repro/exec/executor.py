@@ -47,6 +47,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.specs import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.pool import WorkerPool
     from repro.sim.metrics import RunResult
 
 JOBS_ENV = "REPRO_JOBS"
@@ -254,7 +255,8 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
              strict: bool = False,
              timeout: Optional[float] = None,
              retries: int = 0,
-             backoff: float = 0.5) -> List[RunOutcome]:
+             backoff: float = 0.5,
+             pool: Optional["WorkerPool"] = None) -> List[RunOutcome]:
     """Run a batch of independent specs; outcomes align with input order.
 
     Identical specs are executed once.  Cache hits (memory or disk) skip
@@ -265,6 +267,12 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     ``backoff`` seconds).  With ``strict=True`` a :class:`BatchError`
     is raised if any spec failed.  SIGINT/SIGTERM raises
     :class:`BatchInterrupted` after salvaging completed results.
+
+    ``pool`` injects a started :class:`~repro.exec.pool.WorkerPool`:
+    misses are executed on its persistent, pre-imported workers instead
+    of per-attempt processes, skipping process spin-up and cold imports
+    entirely (the pool's size is the fan-out; ``jobs`` is ignored).
+    The pool stays alive across calls — the caller owns its lifecycle.
     """
     specs = list(specs)
     cache = cache or shared_cache()
@@ -333,7 +341,15 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
 
     restore = _sigterm_to_interrupt()
     try:
-        if timeout is None and retries == 0 and \
+        if pool is not None and order:
+            # warm path: persistent pre-imported workers; worker death
+            # without hardening options falls back to in-process serial
+            # execution, mirroring the managed path's legacy resilience
+            fallback = run_serial \
+                if timeout is None and retries == 0 else None
+            _run_pooled(order, finish, pool, timeout, retries, backoff,
+                        fallback)
+        elif timeout is None and retries == 0 and \
                 (jobs <= 1 or len(order) <= 1):
             for key, spec in order:
                 run_serial(key, spec)
@@ -469,4 +485,89 @@ def _run_managed(order: List[tuple], finish, jobs: int,
         # interrupt or internal error: reap every child before leaving
         for task in running:
             kill(task)
+        raise
+
+
+def _run_pooled(order: List[tuple], finish, pool: "WorkerPool",
+                timeout: Optional[float], retries: int,
+                backoff: float, fallback=None) -> None:
+    """Dispatch loop over a persistent :class:`WorkerPool`.
+
+    Same semantics as :func:`_run_managed` — per-attempt timeouts,
+    bounded retry with exponential backoff, legacy in-process fallback
+    on worker death — but jobs go to already-warm workers, so a
+    cache-miss batch pays no process spin-up and no cold imports, and a
+    cache-hit batch touches no process at all.  A timed-out worker is
+    *recycled* (killed and respawned) so pool capacity survives faults.
+
+    On interrupt every busy worker is recycled before re-raising: a
+    stale completion can never leak into a later batch.
+    """
+    if not pool.started:
+        pool.start()
+    tasks = {key: _Task(key, spec) for key, spec in order}
+    pending: List[_Task] = list(tasks.values())
+    inflight: dict = {}                # key -> _Task currently on a worker
+
+    def launch(task: _Task) -> None:
+        task.attempts += 1
+        counters["executed"] += 1
+        pool.submit(task.key, task.spec)
+        task.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+        inflight[task.key] = task
+
+    def retry_or_fail(task: _Task, why: str) -> None:
+        if task.attempts <= retries:
+            delay = backoff * (2 ** (task.attempts - 1))
+            task.not_before = time.monotonic() + delay
+            pending.append(task)
+        elif fallback is not None and why == "worker died":
+            counters["executed"] -= 1   # run_serial counts its own
+            fallback(task.key, task.spec)
+        else:
+            finish(task.key, task.spec, False,
+                   f"{why} (after {task.attempts} attempt(s))",
+                   0.0, attempts=task.attempts)
+
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            i = 0
+            while i < len(pending) and pool.idle_count() > 0:
+                if pending[i].not_before <= now:
+                    launch(pending.pop(i))
+                else:
+                    i += 1
+            waits = [t.deadline for t in inflight.values()
+                     if t.deadline is not None]
+            if pending and pool.idle_count() > 0:
+                waits.extend(t.not_before for t in pending)
+            wait_for = max(min(min((w - now for w in waits),
+                                   default=1.0), 1.0), 0.01)
+            if inflight:
+                events = pool.wait(timeout=wait_for)
+            else:
+                time.sleep(wait_for)   # everything is backing off
+                events = []
+            for ev in events:
+                task = inflight.pop(ev.tag)
+                if ev.died:
+                    retry_or_fail(task, "worker died")
+                    continue
+                finish(task.key, task.spec, ev.ok, ev.payload,
+                       ev.elapsed, attempts=task.attempts)
+            if timeout is None:
+                continue
+            now = time.monotonic()
+            for task in [t for t in inflight.values()
+                         if t.deadline is not None and t.deadline <= now]:
+                del inflight[task.key]
+                pool.recycle(task.key)
+                retry_or_fail(
+                    task, f"timed out after {timeout:g}s wall clock")
+    except BaseException:
+        # interrupt or internal error: the pool survives, but every
+        # busy worker is recycled so no stale reply outlives this batch
+        pool.abandon_busy()
         raise

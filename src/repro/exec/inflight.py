@@ -1,0 +1,73 @@
+"""Cross-client in-flight registry: one execution per distinct spec.
+
+``run_many`` already deduplicates *within* one batch (identical specs
+collapse onto one ``_Task``).  A long-running service needs the same
+guarantee *across* concurrent clients: if client A and client B submit
+the same ``RunSpec`` while it is still executing, the second submission
+must attach to the first execution instead of launching a duplicate.
+
+:class:`InFlightRegistry` is that map — cache key to an opaque entry
+(the daemon stores its job record there) — with an atomic get-or-create
+so the claim race between two clients has exactly one winner.  Entries
+are removed when the execution completes (the result then lives in the
+shared :class:`~repro.exec.cache.ResultCache`, where later submissions
+find it as an ordinary hit), so the registry only ever holds work that
+is genuinely in flight.
+
+Thread-safe: the daemon touches it from the asyncio loop thread and
+the executor thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["InFlightRegistry"]
+
+
+class InFlightRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: Dict[str, object] = {}
+        #: submissions that attached to an existing in-flight execution
+        #: instead of launching their own (the dedup win, for telemetry)
+        self.coalesced = 0
+
+    def claim(self, key: str,
+              factory: Callable[[], object]) -> Tuple[object, bool]:
+        """Atomic get-or-create: returns ``(entry, created)``.
+
+        ``created=False`` means another client's identical spec is
+        already executing — the caller should attach to that entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.coalesced += 1
+                return entry, False
+            entry = factory()
+            self._entries[key] = entry
+            return entry, True
+
+    def get(self, key: str) -> Optional[object]:
+        with self._lock:
+            return self._entries.get(key)
+
+    def release(self, key: str) -> Optional[object]:
+        """Remove ``key`` (execution finished or abandoned); returns
+        the entry, or ``None`` if it was never claimed."""
+        with self._lock:
+            return self._entries.pop(key, None)
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,339 @@
+"""Persistent warm worker pool: pay process spin-up and imports once.
+
+:func:`repro.exec.run_many` historically launched one ``mp.Process``
+per attempt: correct (a wedged worker can be killed without breaking
+its siblings) but expensive — every batch pays fork/exec, interpreter
+start, and a cold ``import repro`` per miss.  A :class:`WorkerPool`
+keeps a fixed set of worker processes alive *across* batches:
+
+* **warm start** — each worker imports the simulation stack
+  (``repro.sim.runner`` and everything underneath) before reporting
+  ready, so the first real job pays zero import cost;
+* **per-worker kill** — each worker owns a private duplex pipe, so a
+  hung or crashed worker can be terminated and *recycled* (respawned)
+  without disturbing in-flight jobs on other workers — the property
+  that ruled out ``ProcessPoolExecutor`` in the original executor;
+* **constant size** — worker death is detected at ``wait()`` and the
+  slot respawned immediately, so capacity never decays under faults.
+
+The pool is the execution substrate of both ``run_many(pool=...)``
+(warm batch submission) and the :mod:`repro.service` daemon (jobs
+arrive continuously over the socket API).  It is intentionally dumb:
+no cache, no retry policy, no ordering — callers own those, the pool
+only moves ``(tag, spec)`` to an idle worker and ``(tag, outcome)``
+back.
+
+Lifecycle::
+
+    with WorkerPool(2) as pool:          # spawn + warm handshake
+        pool.submit("a", spec)           # -> an idle worker
+        for ev in pool.wait(timeout=1.0):
+            ...                          # PoolEvent(tag, ok, payload, ...)
+
+Workers ignore SIGINT: a Ctrl-C aimed at the parent must not kill the
+pool mid-drain — the parent decides (salvage, recycle, or close).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.connection
+import os
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["PoolEvent", "WorkerPool"]
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _pool_worker(conn) -> None:
+    """Worker body: warm-import, handshake, then serve jobs until EOF.
+
+    Every reply is ``("done", tag, (ok, payload, elapsed))``; errors
+    travel as data (formatted tracebacks), never as a crashed worker —
+    a genuinely dead worker is detected by the parent as EOF on the
+    pipe.  ``None`` is the shutdown sentinel.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    # warm start: the whole simulation stack is imported before the
+    # ready handshake, so the first job submitted to this worker pays
+    # no import cost (this is the cold-start the pool exists to avoid)
+    try:
+        import repro.sim.runner          # noqa: F401
+        import repro.analysis.sweep      # noqa: F401
+    except Exception:                    # pragma: no cover
+        pass
+    try:
+        conn.send(("ready", os.getpid()))
+    except Exception:                    # pragma: no cover
+        return
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if msg is None:                  # orderly shutdown
+            break
+        tag, spec = msg
+        t0 = time.perf_counter()
+        try:
+            result = spec.run()
+            payload = (True, result, time.perf_counter() - t0)
+        except BaseException:
+            payload = (False, traceback.format_exc(),
+                       time.perf_counter() - t0)
+        try:
+            conn.send(("done", tag, payload))
+        except Exception:
+            # result not picklable (or pipe gone): report, don't die
+            try:
+                conn.send(("done", tag,
+                           (False, traceback.format_exc(),
+                            time.perf_counter() - t0)))
+            except Exception:            # pragma: no cover
+                break
+    try:
+        conn.close()
+    except Exception:                    # pragma: no cover
+        pass
+
+
+@dataclass
+class PoolEvent:
+    """One completion (or death) surfaced by :meth:`WorkerPool.wait`.
+
+    ``ok=None`` means the worker running ``tag`` died (EOF on its pipe)
+    before replying; the slot has already been respawned.
+    """
+
+    tag: object
+    ok: Optional[bool]
+    payload: object = None             # result on ok, traceback on fail
+    elapsed: float = 0.0
+
+    @property
+    def died(self) -> bool:
+        return self.ok is None
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "tag", "ready")
+
+    def __init__(self):
+        self.proc = None
+        self.conn = None
+        self.tag = None                # currently-running job tag
+        self.ready = False
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent, pre-imported worker processes."""
+
+    def __init__(self, size: int = 2, mp_context=None):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._ctx = mp_context or _mp_context()
+        self._workers: List[_Worker] = []
+        self._started = False
+        self._closed = False
+        #: lifetime counters: jobs completed, workers spawned/recycled
+        self.completed = 0
+        self.spawned = 0
+        self.recycled = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _spawn(self, w: _Worker) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        w.conn = parent
+        w.proc = self._ctx.Process(target=_pool_worker, args=(child,),
+                                   daemon=True)
+        w.proc.start()
+        child.close()
+        w.tag = None
+        w.ready = False
+        self.spawned += 1
+
+    def start(self, warm_timeout: float = 60.0) -> "WorkerPool":
+        """Spawn all workers and wait for their warm-import handshake."""
+        if self._started:
+            return self
+        self._workers = [_Worker() for _ in range(self.size)]
+        for w in self._workers:
+            self._spawn(w)
+        self._started = True
+        deadline = time.monotonic() + warm_timeout
+        for w in self._workers:
+            self._await_ready(w, deadline)
+        return self
+
+    def _await_ready(self, w: _Worker, deadline: float) -> None:
+        while not w.ready:
+            remain = deadline - time.monotonic()
+            if remain <= 0 or not w.conn.poll(max(remain, 0.01)):
+                raise TimeoutError("worker failed its warm handshake")
+            try:
+                msg = w.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(w)        # died during import: try again
+                continue
+            if msg and msg[0] == "ready":
+                w.ready = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut every worker down (sentinel first, then terminate)."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            try:
+                if w.conn is not None:
+                    w.conn.send(None)
+            except Exception:
+                pass
+        deadline = time.monotonic() + timeout
+        for w in self._workers:
+            if w.proc is None:
+                continue
+            w.proc.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=2)
+                if w.proc.is_alive():  # pragma: no cover
+                    w.proc.kill()
+                    w.proc.join()
+            if w.conn is not None:
+                w.conn.close()
+            w.proc = w.conn = None
+        self._workers = []
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _busy(self) -> List[_Worker]:
+        return [w for w in self._workers if w.tag is not None]
+
+    def idle_count(self) -> int:
+        self._require_open()
+        return sum(1 for w in self._workers if w.tag is None)
+
+    def busy_tags(self) -> List[object]:
+        return [w.tag for w in self._workers if w.tag is not None]
+
+    def pids(self) -> List[int]:
+        return [w.proc.pid for w in self._workers if w.proc is not None]
+
+    def _require_open(self) -> None:
+        if not self._started or self._closed:
+            raise RuntimeError("pool is not started (or already closed)")
+
+    def submit(self, tag, spec) -> None:
+        """Hand ``(tag, spec)`` to an idle worker; the caller must have
+        checked :meth:`idle_count` first."""
+        self._require_open()
+        for w in self._workers:
+            if w.tag is None:
+                try:
+                    w.conn.send((tag, spec))
+                except (OSError, BrokenPipeError):
+                    # worker died idle: respawn once and re-dispatch
+                    self._respawn(w, recycle=True)
+                    self._await_ready(w, time.monotonic() + 60.0)
+                    w.conn.send((tag, spec))
+                w.tag = tag
+                return
+        raise RuntimeError("no idle worker (check idle_count first)")
+
+    def wait(self, timeout: Optional[float] = None) -> List[PoolEvent]:
+        """Block up to ``timeout`` for completions; may return empty.
+
+        A worker whose pipe hits EOF without a reply is reported as a
+        death event and its slot respawned immediately, so the pool
+        keeps its size through faults.
+        """
+        self._require_open()
+        busy = self._busy()
+        if not busy:
+            return []
+        ready = multiprocessing.connection.wait(
+            [w.conn for w in busy], timeout=timeout)
+        events: List[PoolEvent] = []
+        for conn in ready:
+            w = next(x for x in busy if x.conn is conn)
+            tag = w.tag
+            try:
+                msg = w.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(w, recycle=True)
+                events.append(PoolEvent(tag, None))
+                continue
+            if not msg or msg[0] != "done":   # pragma: no cover
+                continue                      # stray handshake replay
+            _kind, msg_tag, (ok, payload, elapsed) = msg
+            if msg_tag != tag:                # pragma: no cover
+                # a stale reply from before a recycle: drop it
+                continue
+            w.tag = None
+            self.completed += 1
+            events.append(PoolEvent(tag, ok, payload, elapsed))
+        return events
+
+    def recycle(self, tag) -> None:
+        """Kill the worker running ``tag`` (timeout enforcement) and
+        respawn its slot; the job is simply gone — no event fires."""
+        self._require_open()
+        for w in self._workers:
+            if w.tag == tag:
+                self._respawn(w, recycle=True)
+                return
+        raise KeyError(f"no worker is running {tag!r}")
+
+    def abandon_busy(self) -> List[object]:
+        """Recycle every busy worker (interrupt salvage): stale replies
+        can never leak into the next batch.  Returns abandoned tags."""
+        tags = []
+        for w in self._workers:
+            if w.tag is not None:
+                tags.append(w.tag)
+                self._respawn(w, recycle=True)
+        return tags
+
+    def _respawn(self, w: _Worker, recycle: bool = False) -> None:
+        if w.proc is not None and w.proc.is_alive():
+            w.proc.terminate()
+            w.proc.join(timeout=2)
+            if w.proc.is_alive():      # pragma: no cover
+                w.proc.kill()
+                w.proc.join()
+        if w.conn is not None:
+            w.conn.close()
+        if recycle:
+            self.recycled += 1
+        self._spawn(w)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "started" if self._started else "cold")
+        return (f"WorkerPool(size={self.size}, {state}, "
+                f"busy={len(self._busy())}, completed={self.completed}, "
+                f"recycled={self.recycled})")

@@ -1,0 +1,34 @@
+"""Simulation-as-a-service: daemon, admission control, client.
+
+The serving layer over :mod:`repro.exec` (see ``docs/service.md``)::
+
+    # terminal 1
+    #   python -m repro serve --workers 4
+    # terminal 2 (or any process)
+    from repro.service import ServiceClient
+    from repro.exec import mix_spec
+    outs = ServiceClient().submit([mix_spec("M7", "throtcpuprio")])
+
+* :mod:`repro.service.server` — the asyncio daemon: Unix-socket +
+  minimal HTTP API, persistent warm worker pool, cross-client dedup,
+  graceful drain.
+* :mod:`repro.service.scheduler` — per-client admission control using
+  the paper's ATU token idiom at the service level.
+* :mod:`repro.service.client` — ``submit`` / ``wait`` / ``stream`` and
+  the ``remote_run_many`` drop-in the CLI's ``--remote`` flag uses.
+* :mod:`repro.service.protocol` — the newline-JSON wire vocabulary.
+"""
+
+from repro.service.client import (SOCKET_ENV, ServiceClient, ServiceError,
+                                  default_address, remote_run_many,
+                                  service_available)
+from repro.service.scheduler import AdmissionController, ClientGate
+from repro.service.server import (DEFAULT_SOCKET, DaemonHandle,
+                                  ServiceDaemon, start_daemon_thread)
+
+__all__ = [
+    "AdmissionController", "ClientGate", "DEFAULT_SOCKET",
+    "DaemonHandle", "SOCKET_ENV", "ServiceClient", "ServiceDaemon",
+    "ServiceError", "default_address", "remote_run_many",
+    "service_available", "start_daemon_thread",
+]

@@ -1,0 +1,231 @@
+"""Thin synchronous client for the simulation service.
+
+:class:`ServiceClient` speaks the newline-JSON socket protocol
+(``docs/service.md``): ``submit`` routes a spec batch through a running
+daemon and returns ordinary :class:`~repro.exec.executor.RunOutcome`
+objects, ``stream`` additionally delivers live job lifecycle events,
+``wait`` attaches to in-flight or cached work without creating any.
+:func:`remote_run_many` is the drop-in ``run_many`` replacement the
+CLI's ``--remote`` flag uses.
+
+The rendezvous is a Unix socket path (default ``.repro_service.sock``
+in the working directory) or a ``host:port`` string for the TCP/HTTP
+listener; the ``REPRO_SERVICE`` environment variable supplies the
+default so benches and figure scripts route through a daemon without
+any code change.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import uuid
+from typing import Callable, Iterable, List, Optional
+
+from repro.exec.executor import RunOutcome
+from repro.exec.specs import RunSpec
+from repro.service import protocol
+from repro.service.server import DEFAULT_SOCKET
+
+__all__ = ["ServiceClient", "ServiceError", "SOCKET_ENV",
+           "default_address", "remote_run_many", "service_available"]
+
+#: environment variable naming the daemon rendezvous (socket path or
+#: ``host:port``); the CLI's ``--remote`` flag falls back to it
+SOCKET_ENV = "REPRO_SERVICE"
+
+
+class ServiceError(RuntimeError):
+    """The daemon refused or failed a request (error travels as data)."""
+
+
+def default_address() -> str:
+    return os.environ.get(SOCKET_ENV, "").strip() or DEFAULT_SOCKET
+
+
+def _parse_address(address: str):
+    """``host:port`` -> TCP tuple, anything else -> unix socket path."""
+    if ":" in address:
+        host, _, port = address.rpartition(":")
+        if port.isdigit():
+            return (host or "127.0.0.1", int(port))
+    return address
+
+
+class ServiceClient:
+    """One logical client (an admission-fairness lane) of the daemon.
+
+    Each request opens a fresh connection — the daemon is the stateful
+    side — so a client object is cheap, picklable-free, and safe to
+    share across threads.
+    """
+
+    def __init__(self, address: Optional[str] = None,
+                 client_id: Optional[str] = None,
+                 timeout: Optional[float] = 600.0):
+        self.address = _parse_address(address or default_address())
+        self.client_id = client_id or f"cli-{uuid.uuid4().hex[:8]}"
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = None
+        try:
+            if isinstance(self.address, tuple):
+                sock = socket.create_connection(self.address,
+                                                timeout=self.timeout)
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.address)
+        except OSError as e:
+            if sock is not None:
+                sock.close()
+            raise ServiceError(
+                f"no daemon at {self.address!r}: {e} "
+                "(start one with `python -m repro serve`)") from None
+        return sock
+
+    def _request(self, req: dict,
+                 on_line: Optional[Callable[[dict], bool]] = None) -> dict:
+        """Send one request; return the final response object.
+
+        ``on_line`` sees every intermediate line (streaming events) and
+        returns True while it wants more; the first line it declines —
+        or any line when it is None — is the final response.
+        """
+        sock = self._connect()
+        try:
+            sock.sendall(protocol.dump_line(req))
+            with sock.makefile("rb") as fh:
+                while True:
+                    line = fh.readline()
+                    if not line:
+                        raise ServiceError(
+                            "connection closed mid-response")
+                    obj = protocol.load_line(line)
+                    if on_line is not None and on_line(obj):
+                        continue
+                    return obj
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _checked(resp: dict) -> dict:
+        if not resp.get("ok"):
+            raise ServiceError(resp.get("error") or "daemon error")
+        return resp
+
+    # -- the verbs -----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._checked(self._request({"op": "ping"}))
+
+    def status(self) -> dict:
+        return self._checked(self._request({"op": "status"}))["status"]
+
+    def cache_stats(self) -> dict:
+        return self._checked(self._request({"op": "cache-stats"}))
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit (graceful)."""
+        return self._checked(self._request({"op": "shutdown"}))
+
+    def submit(self, specs: Iterable[RunSpec], wait: bool = True,
+               on_event: Optional[Callable[[dict], None]] = None,
+               encoding: str = "pickle") -> List[RunOutcome]:
+        """Route a spec batch through the daemon.
+
+        With ``wait`` (default) blocks until every job settles and
+        returns outcomes aligned with the input order, exactly like
+        :func:`repro.exec.run_many`.  ``on_event`` turns on streaming:
+        it receives every job lifecycle event (``queued`` / ``started``
+        / ``done``) live, before the final outcome list arrives.  With
+        ``wait=False`` returns immediately (an empty list); a later
+        :meth:`wait_for` with the same specs collects the results.
+        """
+        specs = list(specs)
+        req = {"op": "submit", "client": self.client_id,
+               "specs": [protocol.spec_to_wire(s) for s in specs],
+               "wait": wait, "stream": on_event is not None,
+               "encoding": encoding}
+
+        def on_line(obj: dict) -> bool:
+            if "event" not in obj:
+                return False          # the final response
+            if obj["event"] != "batch-done" and on_event is not None:
+                on_event(obj)
+            return True
+
+        resp = self._checked(self._request(req, on_line=on_line))
+        if not wait:
+            return []
+        return self._decode_outcomes(resp, specs)
+
+    def wait_for(self, specs: Iterable[RunSpec],
+                 encoding: str = "pickle") -> List[RunOutcome]:
+        """Attach to in-flight or cached results without creating work;
+        unknown specs come back as failed outcomes."""
+        specs = list(specs)
+        req = {"op": "wait", "client": self.client_id,
+               "specs": [protocol.spec_to_wire(s) for s in specs],
+               "wait": True, "encoding": encoding}
+        resp = self._checked(self._request(req))
+        return self._decode_outcomes(resp, specs)
+
+    @staticmethod
+    def _decode_outcomes(resp: dict,
+                         specs: List[RunSpec]) -> List[RunOutcome]:
+        wires = resp.get("outcomes")
+        if wires is None or len(wires) != len(specs):
+            raise ServiceError("daemon returned a misaligned batch")
+        return [protocol.outcome_from_wire(w, spec)
+                for w, spec in zip(wires, specs)]
+
+
+def service_available(address: Optional[str] = None) -> bool:
+    """True iff a daemon answers a ping at ``address`` (no exceptions)."""
+    try:
+        ServiceClient(address, timeout=5.0).ping()
+        return True
+    except (ServiceError, protocol.ProtocolError):
+        return False
+
+
+def remote_run_many(specs: Iterable[RunSpec],
+                    address: Optional[str] = None,
+                    progress=None,
+                    client_id: Optional[str] = None,
+                    strict: bool = False) -> List[RunOutcome]:
+    """Drop-in ``run_many`` that routes through a running daemon.
+
+    Outcomes are bit-identical to local execution — the daemon runs the
+    same ``spec.run()`` in its warm workers and results cross the wire
+    as lossless pickles.  ``progress`` matches ``run_many``'s callback
+    signature; it fires per streamed ``done`` event.
+    """
+    specs = list(specs)
+    client = ServiceClient(address, client_id=client_id)
+    on_event = None
+    if progress is not None:
+        by_label = {s.label: (i, s) for i, s in enumerate(specs)}
+
+        def on_event(ev: dict) -> None:
+            if ev.get("event") != "done":
+                return
+            hit = by_label.get(ev.get("label"))
+            if hit is None:
+                return
+            i, spec = hit
+            progress(RunOutcome(spec, None, error=ev.get("error"),
+                                elapsed=ev.get("elapsed") or 0.0,
+                                source=ev.get("source") or "run",
+                                attempts=ev.get("attempts") or 1),
+                     i, len(specs))
+
+    outcomes = client.submit(specs, wait=True, on_event=on_event)
+    if strict and any(not o.ok for o in outcomes):
+        from repro.exec.executor import BatchError
+        raise BatchError(outcomes)
+    return outcomes

@@ -1,0 +1,211 @@
+"""Wire protocol for the simulation service.
+
+Everything on the wire is **newline-delimited JSON**: a client sends
+one request object per line; the daemon answers with one response line,
+or — for streaming submissions — a sequence of event lines terminated
+by a ``batch-done`` event.  The same JSON bodies ride over the minimal
+HTTP adapter (``POST /submit`` etc.), so both transports share one
+vocabulary.
+
+Requests (``op`` selects the verb)::
+
+    {"op": "ping"}
+    {"op": "status"}
+    {"op": "cache-stats"}
+    {"op": "shutdown", "drain": true}
+    {"op": "submit", "client": "bench-1", "specs": [SPEC, ...],
+     "stream": false, "encoding": "pickle"}
+
+Spec objects name what :class:`~repro.exec.specs.RunSpec` names: mix
+(Table III name or explicit ``{name, gpu_app, cpu_apps}``), policy,
+scale, seed, and an optional explicit config.  Configs and results are
+arbitrary Python object trees (dataclasses holding numpy scalars), so
+their lossless wire form is a base64 pickle — that is what makes
+daemon-routed results *bit-identical* to local ``run_many`` output.
+``encoding: "json"`` trades fidelity for a language-neutral rendering
+(``dataclasses.asdict`` with tuples as lists), for non-Python clients
+that only need the metric fields.
+
+Outcome objects mirror :class:`~repro.exec.executor.RunOutcome` minus
+the spec (the client already has it — outcomes align with submission
+order)::
+
+    {"index": 0, "label": "M7/throtcpuprio@test#1", "ok": true,
+     "source": "disk", "elapsed": 0.0, "attempts": 1,
+     "error": null, "result": {"pickle": "..."}}
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import TYPE_CHECKING, Optional
+
+from repro.exec.specs import RunSpec
+from repro.mixes import Mix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.exec.executor import RunOutcome
+
+#: protocol revision, echoed by ``ping``/``status`` so clients can
+#: detect a daemon built from different source
+PROTOCOL_VERSION = 1
+
+#: a request/response line larger than this is refused — a defensive
+#: bound, not a practical limit (a paper-scale RunResult pickles to
+#: well under a megabyte)
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+ENCODINGS = ("pickle", "json")
+
+
+class ProtocolError(ValueError):
+    """Malformed request/response: bad JSON, unknown op, bad spec."""
+
+
+# -- framing -----------------------------------------------------------------
+
+def dump_line(obj: dict) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def load_line(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ProtocolError(f"bad JSON line: {e}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("protocol line must be a JSON object")
+    return obj
+
+
+# -- opaque Python payloads (configs, results) -------------------------------
+
+def _to_b64(obj) -> str:
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _from_b64(s: str):
+    return pickle.loads(base64.b64decode(s.encode("ascii")))
+
+
+def _jsonable(obj):
+    """Best-effort JSON rendering of a result tree (tuples -> lists,
+    dict keys -> str); used by ``encoding: "json"`` only."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+# -- specs -------------------------------------------------------------------
+
+def spec_to_wire(spec: RunSpec) -> dict:
+    if isinstance(spec.mix, str):
+        mix_wire = spec.mix
+    else:
+        mix_wire = {"name": spec.mix.name, "gpu_app": spec.mix.gpu_app,
+                    "cpu_apps": list(spec.mix.cpu_apps)}
+    wire = {"mix": mix_wire, "policy": spec.policy,
+            "scale": spec.scale, "seed": spec.seed}
+    if spec.cfg is not None:
+        wire["cfg"] = {"pickle": _to_b64(spec.cfg)}
+    return wire
+
+
+def spec_from_wire(wire: dict) -> RunSpec:
+    if not isinstance(wire, dict) or "mix" not in wire:
+        raise ProtocolError(f"bad spec object: {wire!r}")
+    raw_mix = wire["mix"]
+    if isinstance(raw_mix, str):
+        # RunSpec resolves names lazily; resolve eagerly here so a typo
+        # is refused at the protocol boundary, not charged admission
+        # and shipped to a worker
+        from repro.mixes import mix as mix_by_name
+        try:
+            mix_by_name(raw_mix)
+        except KeyError as e:
+            raise ProtocolError(f"unknown mix: {e}") from None
+        mix = raw_mix
+    elif isinstance(raw_mix, dict):
+        try:
+            mix = Mix(raw_mix["name"], raw_mix.get("gpu_app"),
+                      tuple(raw_mix.get("cpu_apps", ())))
+        except (KeyError, TypeError, ValueError) as e:
+            raise ProtocolError(f"bad mix object: {e}") from None
+    else:
+        raise ProtocolError(f"bad mix field: {raw_mix!r}")
+    cfg = None
+    if wire.get("cfg") is not None:
+        try:
+            cfg = _from_b64(wire["cfg"]["pickle"])
+        except Exception as e:
+            raise ProtocolError(f"bad cfg payload: {e}") from None
+    try:
+        return RunSpec(mix=mix, policy=wire.get("policy", "baseline"),
+                       scale=wire.get("scale", "test"),
+                       seed=int(wire.get("seed", 1)), cfg=cfg)
+    except Exception as e:                  # unknown mix name, bad seed
+        raise ProtocolError(f"bad spec: {e}") from None
+
+
+# -- results / outcomes ------------------------------------------------------
+
+def encode_result(result, encoding: str = "pickle") -> Optional[dict]:
+    if result is None:
+        return None
+    if encoding == "pickle":
+        return {"pickle": _to_b64(result)}
+    if encoding == "json":
+        from dataclasses import asdict
+        return {"json": _jsonable(asdict(result))}
+    raise ProtocolError(f"unknown encoding {encoding!r}")
+
+
+def decode_result(wire: Optional[dict]):
+    """Inverse of :func:`encode_result`; json-encoded results come back
+    as plain dicts (fidelity was already traded away at encode time)."""
+    if wire is None:
+        return None
+    if "pickle" in wire:
+        return _from_b64(wire["pickle"])
+    if "json" in wire:
+        return wire["json"]
+    raise ProtocolError(f"bad result payload: {list(wire)}")
+
+
+def outcome_to_wire(index: int, outcome: "RunOutcome",
+                    encoding: str = "pickle") -> dict:
+    return {
+        "index": index,
+        "label": outcome.spec.label,
+        "ok": outcome.ok,
+        "source": outcome.source,
+        "elapsed": outcome.elapsed,
+        "attempts": outcome.attempts,
+        "error": outcome.error,
+        "result": encode_result(outcome.result, encoding),
+    }
+
+
+def outcome_from_wire(wire: dict, spec: RunSpec) -> "RunOutcome":
+    from repro.exec.executor import RunOutcome
+    return RunOutcome(spec=spec,
+                      result=decode_result(wire.get("result")),
+                      error=wire.get("error"),
+                      elapsed=float(wire.get("elapsed", 0.0)),
+                      source=wire.get("source", "run"),
+                      attempts=int(wire.get("attempts", 1)))
+
+
+def error_response(message: str) -> dict:
+    return {"ok": False, "error": message}

@@ -1,0 +1,146 @@
+"""Admission control: the paper's ATU, lifted to the service level.
+
+The simulator's :class:`~repro.core.atu.AccessThrottlingUnit` gates GPU
+LLC accesses with two registers — a burst allowance ``N_G`` and a port
+off-time ``W_G`` — recomputed from measured load at a fixed interval.
+The daemon applies the identical shape to *client submissions*:
+
+* every client gets a :class:`ClientGate` with a burst allowance
+  ``n_g`` (submissions admitted back-to-back) and a wait ``w_g``
+  (seconds the client's lane stays closed once the burst is spent);
+* a :class:`AdmissionController` recompute, driven by the measured
+  backlog (queued + running jobs), grows ``w_g`` in fixed steps while
+  the backlog exceeds its target and collapses it to zero when the
+  daemon catches up — the Fig. 6 flow with queue depth standing in for
+  predicted frame time.
+
+The result is the paper's fairness property at the service level: a
+client hammering the daemon accumulates per-lane wait while a new
+client's first ``n_g`` submissions admit immediately, and when the
+system is keeping up nobody waits at all.
+
+Everything here is pure arithmetic on caller-supplied clocks — no
+threads, no asyncio — so the semantics are unit-testable exactly like
+the ATU itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["AdmissionController", "ClientGate"]
+
+
+class ClientGate:
+    """Per-client token gate, mirroring ``AccessThrottlingUnit``'s
+    ``next_issue_time`` in the seconds domain.
+
+    While ``w_g == 0`` (no throttling) every submission admits at
+    ``now``.  Otherwise each spent burst of ``n_g`` submissions closes
+    the lane for ``w_g`` seconds; submissions arriving early are
+    admitted at the lane's next open instant, in arrival order.
+    """
+
+    __slots__ = ("n_g", "_tokens", "_gate_until", "admitted", "deferred")
+
+    def __init__(self, n_g: int = 8):
+        if n_g < 1:
+            raise ValueError("n_g must be >= 1")
+        self.n_g = n_g
+        self._tokens = n_g
+        self._gate_until = 0.0
+        self.admitted = 0
+        self.deferred = 0              # admissions that had to wait
+
+    def next_admit_time(self, now: float, w_g: float) -> float:
+        """Earliest time this client's next submission may enter the
+        queue; monotonically non-decreasing per client."""
+        t = max(now, self._gate_until)
+        self.admitted += 1
+        if t > now:
+            self.deferred += 1
+        if w_g <= 0:
+            return t
+        self._tokens -= 1
+        if self._tokens > 0:
+            return t                   # within the burst allowance
+        self._tokens = self.n_g
+        self._gate_until = t + w_g
+        return t
+
+
+class AdmissionController:
+    """Queue-depth-driven recompute of the shared ``w_g``.
+
+    Fig. 6 computes the per-access wait from how far the predicted
+    frame time must stretch; here the "frame" is the daemon's backlog:
+
+    * ``depth <= target_depth`` -> ``w_g = 0`` (no throttling, the
+      service is keeping up);
+    * else ``w_g`` is the largest multiple of ``w_g_step`` at or below
+      ``w_g_step * (depth - target_depth)``, capped at ``w_g_max`` —
+      wait grows with overload, in quantised steps, exactly like the
+      ATU's downward-quantised growth loop.
+
+    ``observe(depth)`` is the recompute hook (the daemon calls it on
+    every enqueue/dequeue); ``admit(client, now)`` returns the absolute
+    time the submission may enter the run queue.
+    """
+
+    def __init__(self, n_g: int = 8, w_g_step: float = 0.05,
+                 w_g_max: float = 2.0, target_depth: int = 4):
+        if w_g_step <= 0 or w_g_max < 0:
+            raise ValueError("w_g_step must be > 0 and w_g_max >= 0")
+        if target_depth < 0:
+            raise ValueError("target_depth must be >= 0")
+        self.n_g = n_g
+        self.w_g_step = w_g_step
+        self.w_g_max = w_g_max
+        self.target_depth = target_depth
+        self.w_g = 0.0
+        self.recomputes = 0
+        self.throttled_recomputes = 0
+        self._gates: Dict[str, ClientGate] = {}
+
+    # -- Fig. 6, backlog edition ---------------------------------------------
+
+    def observe(self, depth: int) -> float:
+        """Recompute ``w_g`` from the current backlog; returns it."""
+        self.recomputes += 1
+        if depth <= self.target_depth:
+            self.w_g = 0.0
+            return self.w_g
+        over = depth - self.target_depth
+        self.w_g = min(self.w_g_step * over, self.w_g_max)
+        self.throttled_recomputes += 1
+        return self.w_g
+
+    @property
+    def active(self) -> bool:
+        return self.w_g > 0
+
+    # -- per-client admission ------------------------------------------------
+
+    def gate(self, client: str) -> ClientGate:
+        g = self._gates.get(client)
+        if g is None:
+            g = self._gates[client] = ClientGate(self.n_g)
+        return g
+
+    def admit(self, client: str, now: float) -> float:
+        """Absolute admit time for one submission from ``client``."""
+        return self.gate(client).next_admit_time(now, self.w_g)
+
+    def snapshot(self) -> dict:
+        """Status-endpoint rendering (counters, current gate state)."""
+        return {
+            "w_g": round(self.w_g, 6),
+            "n_g": self.n_g,
+            "active": self.active,
+            "recomputes": self.recomputes,
+            "throttled_recomputes": self.throttled_recomputes,
+            "clients": {
+                name: {"admitted": g.admitted, "deferred": g.deferred}
+                for name, g in sorted(self._gates.items())
+            },
+        }

@@ -1,0 +1,682 @@
+"""The simulation service daemon.
+
+``python -m repro serve`` turns the executor + cache + CLI stack into a
+long-running service: an asyncio loop accepts run requests over a Unix
+socket (newline-delimited JSON) and a minimal local HTTP adapter,
+admits them through the :class:`~repro.service.scheduler
+.AdmissionController` (per-client ATU-style gating), deduplicates them
+against a cross-client :class:`~repro.exec.inflight.InFlightRegistry`,
+and executes misses on one persistent, pre-imported
+:class:`~repro.exec.pool.WorkerPool`.  ``.repro_cache/`` is the shared
+content-addressed result store: identical specs from any number of
+clients cost one simulation ever, and repeat queries are served from
+memory in microseconds.
+
+Execution happens on a dedicated *executor thread* so the event loop
+never blocks: the thread pulls admitted jobs from a queue, resolves
+cache hits instantly, dispatches misses to the pool, recycles wedged
+workers on timeout, and posts completions back into the loop.
+
+Shutdown (SIGTERM, SIGINT, or the ``shutdown`` op) drains: new
+submissions are refused, queued-but-unstarted jobs are marked
+``interrupted`` (the same salvage contract as
+:class:`~repro.exec.executor.BatchInterrupted`), running jobs finish
+and their results are persisted, then sockets, pool, and cache stats
+are closed out and the original signal handlers restored.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import queue
+import signal
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.exec import counters as exec_counters
+from repro.exec.cache import ResultCache
+from repro.exec.inflight import InFlightRegistry
+from repro.exec.pool import WorkerPool
+from repro.service import protocol
+from repro.service.scheduler import AdmissionController
+
+__all__ = ["DEFAULT_SOCKET", "ServiceDaemon", "DaemonHandle",
+           "start_daemon_thread"]
+
+#: default Unix-socket rendezvous, relative to the working directory
+#: (overridden by ``--socket`` / the ``REPRO_SERVICE`` environment
+#: variable on the client side)
+DEFAULT_SOCKET = ".repro_service.sock"
+
+
+class _Job:
+    """One distinct (by cache key) unit of work inside the daemon."""
+
+    __slots__ = ("id", "key", "spec", "client", "state", "ok", "result",
+                 "error", "source", "elapsed", "attempts", "done",
+                 "subscribers", "deadline", "created")
+
+    def __init__(self, job_id: int, key: str, spec, client: str):
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.client = client
+        self.state = "queued"         # queued|running|done|failed
+        self.ok: Optional[bool] = None
+        self.result = None
+        self.error: Optional[str] = None
+        self.source = "run"
+        self.elapsed = 0.0
+        self.attempts = 0
+        self.done = asyncio.Event()   # created on the loop thread
+        self.subscribers: List[asyncio.Queue] = []
+        self.deadline: Optional[float] = None
+        self.created = time.monotonic()
+
+    def event(self, kind: str) -> dict:
+        ev = {"event": kind, "id": self.id, "label": self.spec.label,
+              "key": self.key, "state": self.state}
+        if kind == "done":
+            ev.update(ok=self.ok, source=self.source,
+                      elapsed=self.elapsed, attempts=self.attempts,
+                      error=self.error)
+        return ev
+
+
+class ServiceDaemon:
+    """See the module docstring; construct, then :meth:`serve_forever`
+    (blocking) or :func:`start_daemon_thread` (tests, benches, docs)."""
+
+    def __init__(self, socket_path: str = DEFAULT_SOCKET,
+                 http_port: Optional[int] = None,
+                 http_host: str = "127.0.0.1",
+                 workers: int = 2,
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 1,
+                 admission: Optional[AdmissionController] = None):
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds (or None)")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.socket_path = socket_path
+        self.http_port = http_port
+        self.http_host = http_host
+        self.cache = cache or ResultCache()
+        self.pool = WorkerPool(workers)
+        self.registry = InFlightRegistry()
+        self.admission = admission or AdmissionController()
+        self.timeout = timeout
+        self.retries = retries
+
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._work_q: "queue.Queue[_Job]" = queue.Queue()
+        self._busy: Dict[int, _Job] = {}      # job id -> running job
+        self._timers: Dict[int, tuple] = {}   # job id -> (handle, job)
+        self._ids = itertools.count(1)
+        self._draining = False
+        self._drain_exec = threading.Event()
+        self._stopped: Optional[asyncio.Event] = None
+        self._ready = threading.Event()       # listening (for starters)
+        self._exec_thread: Optional[threading.Thread] = None
+        self._servers: list = []
+        self._prev_handlers: dict = {}
+        self._started_at = time.monotonic()
+        #: daemon-lifetime counters, surfaced by ``status``
+        self.jobs_submitted = 0
+        self.jobs_attached = 0        # dedup: joined an in-flight job
+        self.jobs_executed = 0
+        self.cache_hits = 0
+        self.jobs_failed = 0
+        self.jobs_interrupted = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the daemon until drained; blocking.  Warm workers are
+        spawned *before* the event loop starts, so forks never race
+        loop internals."""
+        self.pool.start()
+        try:
+            asyncio.run(self._main())
+        finally:
+            self.pool.close()
+            self.cache.persist_stats()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        if not self.pool.started:
+            self.pool.start()
+        self._install_signal_handlers()
+        try:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)   # stale from a hard kill
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_conn, path=self.socket_path))
+            if self.http_port is not None:
+                self._servers.append(await asyncio.start_server(
+                    self._handle_conn, host=self.http_host,
+                    port=self.http_port))
+            self._exec_thread = threading.Thread(
+                target=self._exec_loop, name="repro-service-exec",
+                daemon=True)
+            self._exec_thread.start()
+            self._ready.set()
+            await self._stopped.wait()
+        finally:
+            self._ready.set()                 # never leave starters hung
+            await self._shutdown()
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT begin a graceful drain.  Only possible on the
+        main thread; the originals are restored at shutdown."""
+        try:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                prev = signal.getsignal(sig)
+                self._loop.add_signal_handler(sig, self.begin_drain)
+                self._prev_handlers[sig] = prev
+        except (RuntimeError, ValueError, NotImplementedError):
+            self._prev_handlers.clear()       # not main thread: skip
+
+    def _restore_signal_handlers(self) -> None:
+        for sig, prev in self._prev_handlers.items():
+            try:
+                self._loop.remove_signal_handler(sig)
+                if prev is not None:
+                    signal.signal(sig, prev)
+            except (RuntimeError, ValueError, OSError):
+                pass
+        self._prev_handlers.clear()
+
+    def begin_drain(self) -> None:
+        """Refuse new work, salvage the queue, finish what's running.
+        Idempotent; callable from signal handlers and request ops."""
+        if self._draining:
+            return
+        self._draining = True
+        # deferred (admission-delayed) jobs never started: interrupt now
+        for handle, job in self._timers.values():
+            handle.cancel()
+            self._interrupt_job(job)
+        self._timers.clear()
+        self._drain_exec.set()        # executor: drain queue, then exit
+
+    def _interrupt_job(self, job: _Job) -> None:
+        job.state = "failed"
+        job.ok = False
+        job.error = "interrupted"
+        job.source = "error"
+        self.jobs_interrupted += 1
+        self.registry.release(job.key)
+        self._finalize_on_loop(job)
+
+    async def _shutdown(self) -> None:
+        self.begin_drain()
+        if self._exec_thread is not None:
+            # join off-loop so in-flight simulations can finish
+            await self._loop.run_in_executor(
+                None, self._exec_thread.join)
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if os.path.exists(self.socket_path):
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._restore_signal_handlers()
+
+    # -- the executor thread -------------------------------------------------
+
+    def _exec_loop(self) -> None:
+        while True:
+            if self._drain_exec.is_set():
+                # salvage contract: queued jobs -> "interrupted",
+                # running jobs are allowed to finish below
+                while True:
+                    try:
+                        self._interrupt_job(self._work_q.get_nowait())
+                    except queue.Empty:
+                        break
+                if not self._busy:
+                    break
+            while (self.pool.idle_count() > 0
+                    and not self._drain_exec.is_set()):
+                try:
+                    job = self._work_q.get_nowait()
+                except queue.Empty:
+                    break
+                self._start_job(job)
+            if self._busy:
+                for ev in self.pool.wait(timeout=0.1):
+                    self._on_pool_event(ev)
+                self._check_deadlines()
+            else:
+                try:
+                    job = self._work_q.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                if self._drain_exec.is_set():
+                    self._interrupt_job(job)
+                else:
+                    self._start_job(job)
+        # running jobs finished; signal the loop that execution is over
+        if self._loop is not None and self._stopped is not None:
+            self._loop.call_soon_threadsafe(self._stopped.set)
+
+    def _start_job(self, job: _Job) -> None:
+        hit, source = self.cache.get(job.spec)
+        if hit is not None:
+            self.cache_hits += 1
+            self._complete(job, True, hit, source=source)
+            return
+        job.attempts += 1
+        job.state = "running"
+        job.deadline = (time.monotonic() + self.timeout
+                        if self.timeout is not None else None)
+        self.jobs_executed += 1
+        exec_counters["executed"] += 1
+        self.pool.submit(job.id, job.spec)
+        self._busy[job.id] = job
+        self._notify_on_loop(job, "started")
+
+    def _on_pool_event(self, ev) -> None:
+        job = self._busy.pop(ev.tag, None)
+        if job is None:               # pragma: no cover - stale reply
+            return
+        if ev.died:
+            self._retry_or_fail(job, "worker died")
+            return
+        if ev.ok:
+            self.cache.put(job.spec, ev.payload)
+            self._complete(job, True, ev.payload, elapsed=ev.elapsed)
+        else:
+            self._complete(job, False, None, error=ev.payload,
+                           elapsed=ev.elapsed)
+
+    def _check_deadlines(self) -> None:
+        if self.timeout is None:
+            return
+        now = time.monotonic()
+        for job in [j for j in self._busy.values()
+                    if j.deadline is not None and j.deadline <= now]:
+            del self._busy[job.id]
+            self.pool.recycle(job.id)
+            self._retry_or_fail(
+                job, f"timed out after {self.timeout:g}s wall clock")
+
+    def _retry_or_fail(self, job: _Job, why: str) -> None:
+        if job.attempts <= self.retries and not self._drain_exec.is_set():
+            self._work_q.put(job)
+        else:
+            self._complete(job, False, None,
+                           error=f"{why} (after {job.attempts} "
+                                 "attempt(s))")
+
+    def _complete(self, job: _Job, ok: bool, result,
+                  error: Optional[str] = None, source: str = "run",
+                  elapsed: float = 0.0) -> None:
+        job.ok = ok
+        job.result = result
+        job.error = error
+        job.source = source if ok else "error"
+        job.elapsed = elapsed
+        job.state = "done" if ok else "failed"
+        if not ok:
+            self.jobs_failed += 1
+        self.registry.release(job.key)
+        self._finalize_on_loop(job)
+
+    # -- loop-side notification ----------------------------------------------
+
+    def _finalize_on_loop(self, job: _Job) -> None:
+        def fin():
+            job.done.set()
+            self._push_event(job, job.event("done"))
+        self._call_on_loop(fin)
+
+    def _notify_on_loop(self, job: _Job, kind: str) -> None:
+        self._call_on_loop(lambda: self._push_event(job, job.event(kind)))
+
+    def _call_on_loop(self, fn) -> None:
+        if self._loop is not None and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(fn)
+            except RuntimeError:      # pragma: no cover - loop died
+                pass
+
+    @staticmethod
+    def _push_event(job: _Job, ev: dict) -> None:
+        for q in job.subscribers:
+            q.put_nowait(ev)
+
+    # -- request handling ----------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first[:4] in (b"GET ", b"POST", b"HEAD"):
+                await self._handle_http(first, reader, writer)
+                return
+            try:
+                req = protocol.load_line(first)
+                await self._dispatch(req, writer)
+            except protocol.ProtocolError as e:
+                writer.write(protocol.dump_line(
+                    protocol.error_response(str(e))))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass                      # client went away mid-reply
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, req: dict,
+                        writer: asyncio.StreamWriter) -> None:
+        op = req.get("op")
+        if op == "ping":
+            resp = {"ok": True, "version": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid(), "salt": self.cache.salt}
+        elif op == "status":
+            resp = {"ok": True, "status": self.status()}
+        elif op == "cache-stats":
+            files, size = self.cache.disk_usage()
+            resp = {"ok": True, "files": files, "bytes": size,
+                    "stats": self.cache.persist_stats()}
+        elif op == "shutdown":
+            resp = {"ok": True, "draining": True}
+            writer.write(protocol.dump_line(resp))
+            await writer.drain()
+            self.begin_drain()
+            return
+        elif op == "submit":
+            await self._op_submit(req, writer, admit=True)
+            return
+        elif op == "wait":
+            await self._op_submit(req, writer, admit=False)
+            return
+        else:
+            resp = protocol.error_response(f"unknown op {op!r}")
+        writer.write(protocol.dump_line(resp))
+        await writer.drain()
+
+    async def _op_submit(self, req: dict, writer: asyncio.StreamWriter,
+                         admit: bool) -> None:
+        """``submit`` queues work (and optionally streams/waits);
+        ``wait`` only attaches to in-flight or cached results."""
+        if self._draining:
+            writer.write(protocol.dump_line(protocol.error_response(
+                "draining: daemon is shutting down")))
+            await writer.drain()
+            return
+        encoding = req.get("encoding", "pickle")
+        if encoding not in protocol.ENCODINGS:
+            raise protocol.ProtocolError(f"unknown encoding {encoding!r}")
+        client = str(req.get("client") or "anon")
+        raw_specs = req.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise protocol.ProtocolError("submit needs a spec list")
+        specs = [protocol.spec_from_wire(w) for w in raw_specs]
+        stream = bool(req.get("stream"))
+        wait = bool(req.get("wait", True)) or stream
+
+        jobs: List[_Job] = []         # aligned with the submitted specs
+        sub_q: Optional[asyncio.Queue] = asyncio.Queue() if stream \
+            else None
+        now = self._loop.time()
+        for spec in specs:
+            key = self.cache.key_for(spec)
+            job, created = self.registry.claim(
+                key, lambda: _Job(next(self._ids), key, spec, client))
+            if created:
+                self.jobs_submitted += 1
+                if not admit:
+                    # ``wait`` never creates work: serve from cache or
+                    # report the miss
+                    self.registry.release(key)
+                    hit, source = self.cache.get(spec)
+                    if hit is None:
+                        job.ok = False
+                        job.error = "unknown: not cached, not in flight"
+                        job.source = "error"
+                        job.state = "failed"
+                    else:
+                        self.cache_hits += 1
+                        job.ok = True
+                        job.result = hit
+                        job.source = source
+                        job.state = "done"
+                    job.done.set()
+                else:
+                    at = self.admission.admit(client, now)
+                    self.admission.observe(self.queue_depth())
+                    if at <= now:
+                        self._enqueue(job)
+                    else:
+                        handle = self._loop.call_later(
+                            at - now, self._enqueue_deferred, job.id)
+                        self._timers[job.id] = (handle, job)
+            else:
+                self.jobs_attached += 1
+            if sub_q is not None and not job.done.is_set():
+                job.subscribers.append(sub_q)
+            jobs.append(job)
+
+        if stream:
+            await self._stream_events(jobs, sub_q, writer)
+        if not wait:
+            writer.write(protocol.dump_line(
+                {"ok": True, "queued": len(jobs),
+                 "keys": [j.key for j in jobs]}))
+            await writer.drain()
+            return
+        for job in {j.id: j for j in jobs}.values():
+            await job.done.wait()
+        outcomes = [self._job_outcome(i, job, encoding)
+                    for i, job in enumerate(jobs)]
+        writer.write(protocol.dump_line(
+            {"ok": True, "outcomes": outcomes}))
+        await writer.drain()
+
+    def _enqueue(self, job: _Job) -> None:
+        self._notify_on_loop(job, "queued")
+        self._work_q.put(job)
+
+    def _enqueue_deferred(self, job_id: int) -> None:
+        entry = self._timers.pop(job_id, None)
+        if entry is not None:
+            self._enqueue(entry[1])
+
+    async def _stream_events(self, jobs: List[_Job],
+                             sub_q: asyncio.Queue,
+                             writer: asyncio.StreamWriter) -> None:
+        """Relay job lifecycle events until every subscribed job is
+        done; completed-at-attach jobs emit a synthetic ``done``."""
+        pending = set()
+        for job in jobs:
+            if job.id in pending:
+                continue
+            if job.done.is_set():
+                writer.write(protocol.dump_line(job.event("done")))
+            else:
+                pending.add(job.id)
+        await writer.drain()
+        while pending:
+            ev = await sub_q.get()
+            writer.write(protocol.dump_line(ev))
+            await writer.drain()
+            if ev.get("event") == "done":
+                pending.discard(ev.get("id"))
+        writer.write(protocol.dump_line({"event": "batch-done"}))
+        await writer.drain()
+
+    def _job_outcome(self, index: int, job: _Job,
+                     encoding: str) -> dict:
+        return {"index": index, "label": job.spec.label, "ok": job.ok,
+                "source": job.source, "elapsed": job.elapsed,
+                "attempts": max(job.attempts, 1), "error": job.error,
+                "result": protocol.encode_result(job.result, encoding)}
+
+    # -- introspection -------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Backlog the admission recompute observes: queued + deferred
+        + running (cache hits never linger here)."""
+        return self._work_q.qsize() + len(self._timers) + len(self._busy)
+
+    def status(self) -> dict:
+        files, size = self.cache.disk_usage()
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime": round(time.monotonic() - self._started_at, 3),
+            "draining": self._draining,
+            "workers": self.pool.size,
+            "worker_pids": self.pool.pids(),
+            "workers_recycled": self.pool.recycled,
+            "queue_depth": self.queue_depth(),
+            "running": len(self._busy),
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "attached": self.jobs_attached,
+                "executed": self.jobs_executed,
+                "cache_hits": self.cache_hits,
+                "failed": self.jobs_failed,
+                "interrupted": self.jobs_interrupted,
+                "coalesced": self.registry.coalesced,
+            },
+            "admission": self.admission.snapshot(),
+            "cache": {"root": os.path.abspath(self.cache.root),
+                      "files": files, "bytes": size},
+        }
+
+    # -- the HTTP adapter ----------------------------------------------------
+
+    async def _handle_http(self, first: bytes,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """Minimal local HTTP/1.1: GET /ping|/status|/cache/stats,
+        POST /submit (synchronous JSON in, JSON out; no streaming)."""
+        try:
+            method, path, _version = first.decode("latin-1").split()[:3]
+        except ValueError:
+            return
+        length = 0
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        body = await reader.readexactly(length) if length else b""
+
+        status = "200 OK"
+        if method == "GET" and path == "/ping":
+            resp = {"ok": True, "version": protocol.PROTOCOL_VERSION,
+                    "pid": os.getpid()}
+        elif method == "GET" and path == "/status":
+            resp = {"ok": True, "status": self.status()}
+        elif method == "GET" and path == "/cache/stats":
+            files, size = self.cache.disk_usage()
+            resp = {"ok": True, "files": files, "bytes": size,
+                    "stats": self.cache.persist_stats()}
+        elif method == "POST" and path == "/submit":
+            # reuse the socket submit path against an in-memory stream
+            try:
+                req = protocol.load_line(body)
+                req["op"] = "submit"
+                req.pop("stream", None)       # HTTP replies once
+                await self._dispatch(req, _HttpBodyWriter(writer))
+                return
+            except protocol.ProtocolError as e:
+                status = "400 Bad Request"
+                resp = protocol.error_response(str(e))
+        else:
+            status = "404 Not Found"
+            resp = protocol.error_response(f"no route {method} {path}")
+        _write_http(writer, status, json.dumps(resp).encode("utf-8"))
+        await writer.drain()
+
+
+def _write_http(writer: asyncio.StreamWriter, status: str,
+                body: bytes) -> None:
+    writer.write((f"HTTP/1.1 {status}\r\n"
+                  "Content-Type: application/json\r\n"
+                  f"Content-Length: {len(body)}\r\n"
+                  "Connection: close\r\n\r\n").encode("latin-1") + body)
+
+
+class _HttpBodyWriter:
+    """Adapter so the socket ``submit`` path can answer an HTTP POST:
+    the single JSON response line becomes the HTTP body."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self._writer = writer
+
+    def write(self, line: bytes) -> None:
+        _write_http(self._writer, "200 OK", line.rstrip(b"\n"))
+
+    async def drain(self) -> None:
+        await self._writer.drain()
+
+
+# -- in-process hosting (tests, benches, doc snippets) -----------------------
+
+class DaemonHandle:
+    """A daemon running on a background thread, with a blocking stop."""
+
+    def __init__(self, daemon: ServiceDaemon, thread: threading.Thread):
+        self.daemon = daemon
+        self.thread = thread
+
+    @property
+    def socket_path(self) -> str:
+        return self.daemon.socket_path
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Begin a graceful drain and join the daemon thread."""
+        loop = self.daemon._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self.daemon.begin_drain)
+            except RuntimeError:
+                pass
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_daemon_thread(timeout: float = 60.0,
+                        **kwargs) -> DaemonHandle:
+    """Start a :class:`ServiceDaemon` on a daemon thread and wait until
+    it is accepting connections.  Signal handlers are not installed
+    (not the main thread); use ``handle.stop()`` to drain."""
+    daemon = ServiceDaemon(**kwargs)
+    thread = threading.Thread(target=daemon.serve_forever,
+                              name="repro-service", daemon=True)
+    thread.start()
+    if not daemon._ready.wait(timeout):
+        raise TimeoutError("service daemon failed to start")
+    if not thread.is_alive() and not os.path.exists(daemon.socket_path):
+        raise RuntimeError("service daemon exited during startup")
+    return DaemonHandle(daemon, thread)

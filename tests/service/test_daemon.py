@@ -1,0 +1,219 @@
+"""End-to-end daemon tests over a real Unix socket.
+
+The acceptance properties from the serving contract:
+
+* daemon-routed outcomes are bit-identical to direct ``run_many``;
+* two clients submitting overlapping spec sets trigger exactly one
+  execution per distinct RunSpec (cross-client coalescing);
+* repeat submissions execute nothing — served from the shared store;
+* drain refuses new work, releases waiters, and shuts down cleanly.
+
+Everything runs the daemon on a background thread
+(:func:`start_daemon_thread`) against smoke-scale specs.
+"""
+
+import dataclasses
+import multiprocessing as mp
+import threading
+
+import pytest
+
+from repro.exec import ResultCache, run_many, standalone_cpu_spec
+from repro.exec.specs import mix_spec
+from repro.service import (ServiceClient, ServiceError,
+                           service_available, start_daemon_thread)
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+pytestmark = pytest.mark.skipif(not HAVE_FORK,
+                                reason="needs fork start method")
+
+SPECS = [standalone_cpu_spec(403, "smoke"),
+         standalone_cpu_spec(429, "smoke")]
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    cache = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    with start_daemon_thread(socket_path=sock, workers=2,
+                             cache=cache) as handle:
+        yield sock, handle
+
+
+def test_ping_status_and_availability(daemon, tmp_path):
+    sock, handle = daemon
+    client = ServiceClient(sock)
+    pong = client.ping()
+    assert pong["ok"] and pong["version"] == 1
+    assert service_available(sock)
+    assert not service_available(str(tmp_path / "nothing.sock"))
+    status = client.status()
+    assert status["jobs"]["submitted"] == 0
+    assert status["workers"] == 2
+
+
+def test_submit_is_bit_identical_to_run_many(daemon, tmp_path):
+    sock, _ = daemon
+    direct = run_many(SPECS, cache=ResultCache(
+        root=str(tmp_path / "direct"), salt="svc-test"))
+    served = ServiceClient(sock).submit(SPECS)
+    assert [o.spec for o in served] == SPECS
+    for d, s in zip(direct, served):
+        assert s.ok, s.error
+        assert s.source == "run"
+        assert dataclasses.asdict(d.result) == \
+            dataclasses.asdict(s.result)
+
+
+def test_repeat_submission_executes_nothing(daemon):
+    sock, handle = daemon
+    client = ServiceClient(sock)
+    first = client.submit(SPECS)
+    executed = handle.daemon.jobs_executed
+    assert executed == len(SPECS)
+    again = client.submit(SPECS)
+    assert handle.daemon.jobs_executed == executed
+    assert all(o.source == "memory" for o in again)
+    for a, b in zip(first, again):
+        assert dataclasses.asdict(a.result) == \
+            dataclasses.asdict(b.result)
+
+
+def test_duplicate_specs_in_one_batch_coalesce(daemon):
+    sock, handle = daemon
+    outs = ServiceClient(sock).submit([SPECS[0], SPECS[0], SPECS[0]])
+    assert handle.daemon.jobs_executed == 1
+    assert len(outs) == 3
+    base = dataclasses.asdict(outs[0].result)
+    assert all(dataclasses.asdict(o.result) == base for o in outs)
+
+
+def test_concurrent_clients_one_execution_per_distinct_spec(daemon):
+    """Two clients, overlapping spec sets, submitted concurrently:
+    exactly one execution per distinct spec, bit-identical results on
+    both sides."""
+    sock, handle = daemon
+    shared = SPECS
+    batch_a = shared + [mix_spec("W8", "baseline", "smoke")]
+    batch_b = shared + [standalone_cpu_spec(470, "smoke")]
+    results = {}
+
+    def submit(name, specs):
+        results[name] = ServiceClient(sock, client_id=name).submit(specs)
+
+    threads = [threading.Thread(target=submit, args=("a", batch_a)),
+               threading.Thread(target=submit, args=("b", batch_b))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    distinct = {s.key("svc-test") for s in batch_a + batch_b}
+    assert handle.daemon.jobs_executed == len(distinct)
+    assert all(o.ok for o in results["a"] + results["b"])
+    for i in range(len(shared)):
+        assert dataclasses.asdict(results["a"][i].result) == \
+            dataclasses.asdict(results["b"][i].result)
+    jobs = handle.daemon.status()["jobs"]
+    assert jobs["coalesced"] + jobs["cache_hits"] >= len(shared)
+
+
+def test_streaming_delivers_job_lifecycle(daemon):
+    sock, _ = daemon
+    events = []
+    outs = ServiceClient(sock).submit([SPECS[0]],
+                                      on_event=events.append)
+    assert outs[0].ok
+    kinds = [e["event"] for e in events]
+    assert kinds == ["queued", "started", "done"]
+    assert all(e["label"] == SPECS[0].label for e in events)
+
+
+def test_wait_for_never_creates_work(daemon):
+    sock, handle = daemon
+    client = ServiceClient(sock)
+    unknown = client.wait_for([SPECS[0]])
+    assert handle.daemon.jobs_executed == 0       # no work created
+    assert not unknown[0].ok
+    assert "not cached" in unknown[0].error
+    client.submit([SPECS[0]])
+    hit = client.wait_for([SPECS[0]])
+    assert hit[0].ok and hit[0].source in ("memory", "disk")
+
+
+def test_failed_spec_is_isolated_not_poisoning(daemon):
+    sock, _ = daemon
+    from repro.exec import RunSpec
+    bad = RunSpec(mix="W8", policy="no-such-policy", scale="smoke")
+    outs = ServiceClient(sock).submit([SPECS[0], bad])
+    assert outs[0].ok
+    assert not outs[1].ok
+    assert "no-such-policy" in outs[1].error
+
+
+def test_malformed_request_gets_error_response(daemon):
+    import socket as socketlib
+
+    sock, _ = daemon
+    s = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    s.connect(sock)
+    try:
+        s.sendall(b"this is not json\n")
+        reply = s.makefile("rb").readline()
+    finally:
+        s.close()
+    assert b'"ok":false' in reply.replace(b" ", b"")
+
+
+def test_unknown_mix_refused_at_the_boundary(daemon):
+    sock, handle = daemon
+    import socket as socketlib
+
+    from repro.service import protocol
+    s = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+    s.connect(sock)
+    try:
+        s.sendall(protocol.dump_line(
+            {"op": "submit", "client": "x", "wait": True,
+             "specs": [{"mix": "no-such-mix"}]}))
+        reply = protocol.load_line(s.makefile("rb").readline())
+    finally:
+        s.close()
+    assert not reply["ok"]
+    assert "unknown mix" in reply["error"]
+    assert handle.daemon.jobs_executed == 0
+
+
+def test_drain_refuses_new_work_and_stops_cleanly(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    cache = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    handle = start_daemon_thread(socket_path=sock, workers=1,
+                                 cache=cache)
+    client = ServiceClient(sock)
+    client.submit([SPECS[0]])
+    handle.daemon._loop.call_soon_threadsafe(handle.daemon.begin_drain)
+    # the daemon refuses new submissions while draining, then exits;
+    # either answer (refusal or connection gone) is a correct refusal
+    with pytest.raises(ServiceError):
+        for _ in range(50):
+            client.submit([SPECS[1]])
+    handle.stop()
+    assert not handle.thread.is_alive()
+    # completed work was persisted to the shared store before exit
+    fresh = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    result, source = fresh.get(SPECS[0])
+    assert result is not None and source == "disk"
+
+
+def test_stop_is_idempotent_and_socket_removed(tmp_path):
+    import os
+
+    sock = str(tmp_path / "svc.sock")
+    handle = start_daemon_thread(
+        socket_path=sock, workers=1,
+        cache=ResultCache(root=str(tmp_path / "store"), salt="s"))
+    assert os.path.exists(sock)
+    handle.stop()
+    handle.stop()
+    assert not os.path.exists(sock)
+    assert not service_available(sock)

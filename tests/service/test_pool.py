@@ -1,0 +1,189 @@
+"""The warm worker pool: reuse, fault recovery, run_many integration.
+
+Pool mechanics are exercised with tiny picklable stand-in specs (the
+pool is intentionally dumb — it runs anything with a ``run()``);
+integration tests use real smoke-scale simulations.
+"""
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.exec import (ResultCache, WorkerPool, counters,
+                        reset_counters, run_many, standalone_cpu_spec)
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+pytestmark = pytest.mark.skipif(not HAVE_FORK,
+                                reason="needs fork start method")
+
+
+class Echo:
+    """Instant job: returns its payload (and the worker's pid)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def run(self):
+        return (self.value, os.getpid())
+
+
+class Boom:
+    def run(self):
+        raise ValueError("boom")
+
+
+class Suicide:
+    """Simulates a hard worker crash (OOM kill, segfault)."""
+
+    def run(self):
+        os._exit(13)
+
+
+class Sleep:
+    def __init__(self, seconds):
+        self.seconds = seconds
+
+    def run(self):
+        time.sleep(self.seconds)
+        return "woke"
+
+
+def drain(pool, n, timeout=30.0):
+    """Collect n events from the pool (order-independent)."""
+    events, deadline = [], time.monotonic() + timeout
+    while len(events) < n:
+        assert time.monotonic() < deadline, "pool.wait starved"
+        events.extend(pool.wait(timeout=1.0))
+    return events
+
+
+def test_jobs_complete_and_workers_persist():
+    with WorkerPool(size=2) as pool:
+        first_pids = set(pool.pids())
+        assert len(first_pids) == 2
+        for i in range(4):
+            while pool.idle_count() == 0:
+                drain(pool, 1)
+            pool.submit(i, Echo(i))
+        while pool.completed < 4:
+            drain(pool, 1)
+        assert set(pool.pids()) == first_pids   # no respawns
+    assert pool.completed == 4
+    assert pool.recycled == 0
+
+
+def test_results_route_by_tag():
+    with WorkerPool(size=2) as pool:
+        pool.submit("a", Echo("A"))
+        pool.submit("b", Echo("B"))
+        events = drain(pool, 2)
+        by_tag = {e.tag: e for e in events}
+        assert by_tag["a"].ok and by_tag["a"].payload[0] == "A"
+        assert by_tag["b"].ok and by_tag["b"].payload[0] == "B"
+        # two different workers ran them
+        assert by_tag["a"].payload[1] != by_tag["b"].payload[1]
+
+
+def test_exception_travels_as_data():
+    with WorkerPool(size=1) as pool:
+        pool.submit("x", Boom())
+        ev, = drain(pool, 1)
+        assert ev.ok is False and not ev.died
+        assert "ValueError: boom" in ev.payload
+        # the worker survived the exception
+        pool.submit("y", Echo(1))
+        assert drain(pool, 1)[0].ok
+
+
+def test_worker_death_is_reported_and_slot_respawned():
+    with WorkerPool(size=2) as pool:
+        victim_pids = set(pool.pids())
+        pool.submit("dead", Suicide())
+        pool.submit("ok", Echo(7))
+        events = drain(pool, 2)
+        by_tag = {e.tag: e for e in events}
+        assert by_tag["dead"].died
+        assert by_tag["ok"].ok
+        assert pool.recycled == 1
+        # capacity restored: both slots usable again
+        assert len(pool.pids()) == 2
+        assert set(pool.pids()) != victim_pids
+        pool.submit("after", Echo(8))
+        assert drain(pool, 1)[0].ok
+
+
+def test_recycle_kills_only_the_wedged_worker():
+    with WorkerPool(size=2) as pool:
+        pool.submit("stuck", Sleep(60))
+        pool.submit("fine", Echo(1))
+        ev, = drain(pool, 1)
+        assert ev.tag == "fine" and ev.ok
+        pool.recycle("stuck")              # deadline enforcement
+        assert pool.recycled == 1
+        assert pool.idle_count() == 2      # slot back, no event fired
+        pool.submit("again", Echo(2))
+        assert drain(pool, 1)[0].ok
+
+
+def test_abandon_busy_clears_everything():
+    with WorkerPool(size=2) as pool:
+        pool.submit("s1", Sleep(60))
+        pool.submit("s2", Sleep(60))
+        assert sorted(pool.abandon_busy()) == ["s1", "s2"]
+        assert pool.idle_count() == 2
+        # stale replies can never surface for the next batch
+        pool.submit("clean", Echo(3))
+        ev, = drain(pool, 1)
+        assert ev.tag == "clean" and ev.ok
+
+
+def test_submit_requires_idle_worker():
+    with WorkerPool(size=1) as pool:
+        pool.submit("a", Sleep(60))
+        with pytest.raises(RuntimeError):
+            pool.submit("b", Echo(1))
+        pool.abandon_busy()
+
+
+def test_closed_pool_refuses_work():
+    pool = WorkerPool(size=1).start()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.submit("x", Echo(1))
+    pool.close()                           # idempotent
+
+
+def test_run_many_with_pool_is_bit_identical(tmp_path):
+    """The acceptance property: pooled execution returns the same
+    RunResult dicts as the historical per-process path, and a repeat
+    batch on a warm pool executes nothing."""
+    specs = [standalone_cpu_spec(403, "smoke"),
+             standalone_cpu_spec(429, "smoke")]
+    serial = run_many(specs, cache=ResultCache(root=str(tmp_path / "a"),
+                                               salt="s"))
+    with WorkerPool(size=2) as pool:
+        cache = ResultCache(root=str(tmp_path / "b"), salt="s")
+        pooled = run_many(specs, pool=pool, cache=cache)
+        for s, p in zip(serial, pooled):
+            assert p.ok, p.error
+            assert dataclasses.asdict(s.result) == \
+                dataclasses.asdict(p.result)
+        pids_before = set(pool.pids())
+        reset_counters()
+        again = run_many(specs, pool=pool, cache=cache)
+        assert counters["executed"] == 0
+        assert [o.source for o in again] == ["memory", "memory"]
+        assert set(pool.pids()) == pids_before   # still warm, no churn
+
+
+def test_run_many_pool_timeout_recycles_not_breaks(tmp_path):
+    """A per-job deadline on the pooled path kills one worker, retries,
+    and the batch still completes."""
+    specs = [standalone_cpu_spec(403, "smoke")]
+    with WorkerPool(size=1) as pool:
+        outs = run_many(specs, pool=pool, timeout=120.0, retries=1,
+                        cache=ResultCache(root=str(tmp_path), salt="s"))
+        assert outs[0].ok

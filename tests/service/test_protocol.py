@@ -1,0 +1,91 @@
+"""Wire-protocol round-trips: specs, outcomes, framing."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import default_config
+from repro.exec.executor import RunOutcome
+from repro.exec.specs import RunSpec, mix_spec, standalone_cpu_spec
+from repro.mixes import Mix
+from repro.service import protocol
+
+
+def test_dump_load_line_roundtrip():
+    obj = {"op": "submit", "specs": [], "n": 3}
+    line = protocol.dump_line(obj)
+    assert line.endswith(b"\n")
+    assert protocol.load_line(line) == obj
+
+
+def test_load_line_rejects_garbage():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.load_line(b"not json\n")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.load_line(b"[1, 2]\n")    # must be an object
+    with pytest.raises(protocol.ProtocolError):
+        protocol.load_line(b"x" * (protocol.MAX_LINE_BYTES + 1))
+
+
+def test_spec_roundtrip_named_mix():
+    spec = mix_spec("M7", "throtcpuprio", "smoke", seed=3)
+    back = protocol.spec_from_wire(protocol.spec_to_wire(spec))
+    assert back == spec
+    assert back.key("s") == spec.key("s")
+
+
+def test_spec_roundtrip_custom_mix_and_cfg():
+    mix = Mix("X2", "DOOM3", (403, 429))
+    cfg = default_config(scale="smoke", n_cpus=2, seed=9)
+    spec = RunSpec(mix=mix, policy="baseline", scale="smoke", seed=9,
+                   cfg=cfg)
+    wire = protocol.spec_to_wire(spec)
+    back = protocol.spec_from_wire(wire)
+    assert back.mix == mix
+    assert back.cfg == cfg
+    assert back.key("s") == spec.key("s")
+
+
+def test_spec_from_wire_rejects_malformed():
+    for bad in ({}, {"mix": 7}, {"mix": {"gpu_app": "DOOM3"}},
+                {"mix": "no-such-mix"}, "not a dict"):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.spec_from_wire(bad)
+
+
+def test_outcome_roundtrip_is_bit_identical():
+    spec = standalone_cpu_spec(403, "smoke")
+    result = spec.run()
+    out = RunOutcome(spec=spec, result=result, elapsed=0.25,
+                     source="run", attempts=2)
+    wire = protocol.outcome_to_wire(0, out)
+    back = protocol.outcome_from_wire(wire, spec)
+    assert dataclasses.asdict(back.result) == dataclasses.asdict(result)
+    assert (back.ok, back.source, back.attempts) == (True, "run", 2)
+
+
+def test_outcome_error_roundtrip():
+    spec = mix_spec("W8", "baseline", "smoke")
+    out = RunOutcome(spec=spec, result=None, error="worker died",
+                     attempts=3)
+    back = protocol.outcome_from_wire(protocol.outcome_to_wire(1, out),
+                                      spec)
+    assert not back.ok
+    assert back.error == "worker died"
+    assert back.result is None
+
+
+def test_json_encoding_is_lossy_but_transportable():
+    import json
+
+    spec = standalone_cpu_spec(403, "smoke")
+    wire = protocol.outcome_to_wire(0, RunOutcome(spec, spec.run()),
+                                    encoding="json")
+    json.dumps(wire)                       # fully JSON-serialisable
+    decoded = protocol.decode_result(wire["result"])
+    assert isinstance(decoded, dict)       # plain dict, not RunResult
+
+
+def test_unknown_encoding_refused():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.encode_result(object(), encoding="msgpack")

@@ -1,0 +1,77 @@
+"""Admission control: the ATU token idiom at the service level.
+
+Pure arithmetic on injected clocks — these mirror the style of the
+core ATU tests (burst allowance, gate wait, recompute quantisation).
+"""
+
+import pytest
+
+from repro.service import AdmissionController, ClientGate
+
+
+def test_no_throttle_admits_at_now():
+    g = ClientGate(n_g=2)
+    for now in (0.0, 1.5, 1.5, 9.0):
+        assert g.next_admit_time(now, w_g=0.0) == now
+    assert g.admitted == 4
+    assert g.deferred == 0
+
+
+def test_burst_then_gate():
+    g = ClientGate(n_g=3)
+    w = 0.5
+    # first burst of n_g admits back-to-back at now
+    assert [g.next_admit_time(0.0, w) for _ in range(3)] == [0.0] * 3
+    # the burst is spent: the lane is closed for w_g seconds
+    assert g.next_admit_time(0.0, w) == 0.5
+    assert g.next_admit_time(0.0, w) == 0.5
+    assert g.deferred == 2
+
+
+def test_admit_times_monotonic_per_client():
+    g = ClientGate(n_g=1)
+    times = [g.next_admit_time(0.0, 0.25) for _ in range(6)]
+    assert times == sorted(times)
+    # n_g=1: every submission spends the burst -> strict w_g spacing
+    assert times == [0.0, 0.25, 0.5, 0.75, 1.0, 1.25]
+
+
+def test_gate_reopens_when_client_backs_off():
+    g = ClientGate(n_g=1)
+    g.next_admit_time(0.0, 1.0)
+    # the client comes back after the lane reopened: no residual debt
+    assert g.next_admit_time(5.0, 1.0) == 5.0
+
+
+def test_recompute_tracks_backlog():
+    adm = AdmissionController(w_g_step=0.1, w_g_max=0.4, target_depth=2)
+    assert adm.observe(0) == 0.0
+    assert adm.observe(2) == 0.0          # at target: keeping up
+    assert adm.observe(3) == pytest.approx(0.1)
+    assert adm.observe(7) == pytest.approx(0.4)   # capped at w_g_max
+    assert adm.observe(1) == 0.0          # caught up: collapses to zero
+    assert adm.recomputes == 5
+    assert adm.throttled_recomputes == 2
+
+
+def test_per_client_fairness():
+    """A hammering client accumulates wait in its own lane; a fresh
+    client's first n_g submissions admit immediately."""
+    adm = AdmissionController(n_g=2, w_g_step=0.05, target_depth=0)
+    adm.observe(depth=4)                  # overloaded: w_g = 0.2
+    hammer = [adm.admit("hammer", now=0.0) for _ in range(6)]
+    assert hammer[0] == 0.0 and hammer[-1] > 0.0
+    assert adm.admit("fresh", now=0.0) == 0.0
+    snap = adm.snapshot()
+    assert snap["active"]
+    assert snap["clients"]["hammer"]["deferred"] > 0
+    assert snap["clients"]["fresh"]["deferred"] == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClientGate(n_g=0)
+    with pytest.raises(ValueError):
+        AdmissionController(w_g_step=0.0)
+    with pytest.raises(ValueError):
+        AdmissionController(target_depth=-1)

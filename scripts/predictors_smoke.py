@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI gate for the frame-time predictor suite (docs/predictors.md).
+
+Runs the test-scale head-to-head on one mix and asserts the properties
+the seam promises:
+
+1. every registered predictor completes the run and reports *finite*
+   prediction errors (MAE and bias are real numbers, the prediction
+   log is non-empty for every predictor that reached its ready state);
+2. the reference ``rtp`` row of the comparison is bit-identical to a
+   fresh, uncached ``run_system`` of the same configuration — the
+   comparison harness (and its caching) adds no drift on top of the
+   simulation itself;
+3. the registry, ``config.PREDICTORS`` and the comparison's row set
+   all agree.
+
+Exits non-zero on the first violated property.  Usage::
+
+    PYTHONPATH=src python scripts/predictors_smoke.py [--scale test]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.predictors import compare_predictors  # noqa: E402
+from repro.config import PREDICTORS, default_config  # noqa: E402
+from repro.mixes import mix  # noqa: E402
+from repro.predict import PREDICTOR_NAMES  # noqa: E402
+from repro.sim.runner import run_system  # noqa: E402
+
+MIX = "M7"
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", default="test",
+                    choices=["smoke", "test", "bench", "paper"])
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+    t0 = time.time()
+
+    if tuple(PREDICTOR_NAMES) != tuple(PREDICTORS):
+        fail(f"registry {PREDICTOR_NAMES} != config.PREDICTORS "
+             f"{PREDICTORS}")
+
+    cmp = compare_predictors(mixes=(MIX,), predictors=PREDICTORS,
+                             scale=args.scale, seed=args.seed)
+    print(cmp.format())
+
+    rows = cmp.rows_for(MIX)
+    if [r.predictor for r in rows] != list(PREDICTORS):
+        fail(f"comparison rows {[r.predictor for r in rows]} do not "
+             f"cover the registry {PREDICTORS}")
+    for r in rows:
+        if r.result.predictor != r.predictor:
+            fail(f"{r.predictor}: RunResult tagged {r.result.predictor!r}")
+        if not r.result.prediction_log:
+            fail(f"{r.predictor}: empty prediction log at "
+                 f"{args.scale} scale")
+        for v in (r.overall.mae_pct, r.overall.bias_pct, r.fps,
+                  r.cpu_ws, r.fps_vs_baseline, r.ws_vs_baseline):
+            if not math.isfinite(v):
+                fail(f"{r.predictor}: non-finite metric {v!r}")
+        for f, p, a in r.result.prediction_log:
+            if not (math.isfinite(p) and math.isfinite(a) and a > 0):
+                fail(f"{r.predictor}: bad prediction sample "
+                     f"({f}, {p}, {a})")
+    print(f"finite-error check: {len(rows)} predictor(s) OK")
+
+    # property 2: the harness's reference row vs a fresh direct run.
+    # (The rtp spec shares its cache key with the plain default-config
+    # run, so only an *uncached* execution makes this a real check.)
+    m = mix(MIX)
+    cfg = default_config(scale=args.scale, n_cpus=m.n_cpus,
+                         seed=args.seed)
+    fresh = asdict(run_system(cfg, m, "throtcpuprio"))
+    via_harness = asdict(cmp.row(MIX, "rtp").result)
+    if fresh != via_harness:
+        diff = [k for k in fresh if fresh[k] != via_harness.get(k)]
+        fail(f"reference rtp row differs from a fresh run_system "
+             f"in field(s): {diff}")
+    print("golden check: rtp row bit-identical to a fresh run_system")
+
+    print(f"predictors smoke OK in {time.time() - t0:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

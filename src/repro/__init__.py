@@ -12,6 +12,10 @@ experiment runners returning :class:`RunResult`.
 "cm-bal", "throttle", "throtcpuprio" (the proposal).
 ``QoSController`` / ``FrameRatePredictor`` / ``AccessThrottlingUnit`` —
 the paper's mechanism, usable standalone.
+``Predictor`` / ``make_predictor`` / ``PREDICTOR_NAMES`` — the
+pluggable frame-time predictor seam behind the FRPU
+(docs/predictors.md); ``compare_predictors`` runs the head-to-head
+evaluation suite.
 ``SpanTracer`` / ``trace_mix`` / ``trace_standalone`` — request-path
 span tracing with latency percentiles (docs/latency.md).
 """
@@ -22,6 +26,9 @@ from repro.mixes import Mix, MIXES_M, MIXES_W, HIGH_FPS_MIXES, \
     LOW_FPS_MIXES, mix
 from repro.core import (QoSController, FrameRatePredictor,
                         AccessThrottlingUnit, RtpInfoTable)
+from repro.predict import (Predictor, make_predictor, PREDICTOR_NAMES,
+                           RtpExtrapolator)
+from repro.analysis.predictors import compare_predictors
 from repro.policies import make_policy, POLICY_NAMES
 from repro.sim.metrics import RunResult, weighted_speedup, geomean, \
     combined_performance
@@ -44,6 +51,8 @@ __all__ = [
     "Mix", "MIXES_M", "MIXES_W", "HIGH_FPS_MIXES", "LOW_FPS_MIXES", "mix",
     "QoSController", "FrameRatePredictor", "AccessThrottlingUnit",
     "RtpInfoTable",
+    "Predictor", "make_predictor", "PREDICTOR_NAMES", "RtpExtrapolator",
+    "compare_predictors",
     "make_policy", "POLICY_NAMES",
     "RunResult", "weighted_speedup", "geomean", "combined_performance",
     "run_mix", "run_system", "standalone_cpu", "standalone_gpu",

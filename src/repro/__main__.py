@@ -7,6 +7,8 @@ Examples::
     python -m repro standalone --spec 429
     python -m repro compare --mix M7 --policies baseline,throtcpuprio
     python -m repro compare --mix M7 --policies baseline,sms-0.9 --jobs 4
+    python -m repro run --mix M7 --predictor rls   # FRPU seam override
+    python -m repro compare-predictors --mixes M1,M7 --scale test
     python -m repro run --mix W8 --trace-spans spans.jsonl --span-sample 64
     python -m repro latency --spans spans.jsonl --compare other.jsonl
     python -m repro run --mix M7 --guard          # invariant watchdogs on
@@ -63,7 +65,8 @@ def _print_result(r, scale: str) -> None:
         print(f"  QoS: {r.qos}")
     if r.frpu_errors:
         mean_abs = sum(abs(e) for e in r.frpu_errors) / len(r.frpu_errors)
-        print(f"  FRPU mean |error|: {mean_abs:.2f}%")
+        name = f" ({r.predictor})" if r.predictor else ""
+        print(f"  FRPU{name} mean |error|: {mean_abs:.2f}%")
 
 
 def _print_telemetry(tel, path: str) -> None:
@@ -93,7 +96,8 @@ def cmd_run(args) -> int:
         from repro.exec import mix_spec
         from repro.service import remote_run_many
         out = remote_run_many([mix_spec(args.mix, args.policy,
-                                        args.scale, args.seed)],
+                                        args.scale, args.seed,
+                                        predictor=args.predictor)],
                               address=address)[0]
         if not out.ok:
             print(f"remote run failed: {out.error}", file=sys.stderr)
@@ -105,7 +109,7 @@ def cmd_run(args) -> int:
     if args.profile:
         from repro.prof import profile_mix
         r, prof = profile_mix(args.mix, args.policy, scale=args.scale,
-                              seed=args.seed)
+                              seed=args.seed, predictor=args.predictor)
         _print_result(r, args.scale)
         print(f"  wall time: {time.time()-t0:.1f}s")
         print(prof.report())
@@ -114,7 +118,8 @@ def cmd_run(args) -> int:
         from repro.spans import trace_mix
         r, tracer = trace_mix(args.mix, args.policy, scale=args.scale,
                               seed=args.seed, path=args.trace_spans,
-                              sample_every=args.span_sample)
+                              sample_every=args.span_sample,
+                              predictor=args.predictor)
         _print_result(r, args.scale)
         print(f"  spans: {tracer.finished} -> {args.trace_spans}")
         print(f"  wall time: {time.time()-t0:.1f}s")
@@ -123,7 +128,8 @@ def cmd_run(args) -> int:
     if args.telemetry:
         from repro.telemetry import record_mix
         r, tel = record_mix(args.mix, args.policy, scale=args.scale,
-                            seed=args.seed, path=args.telemetry)
+                            seed=args.seed, path=args.telemetry,
+                            predictor=args.predictor)
         _print_result(r, args.scale)
         _print_telemetry(tel, args.telemetry)
         print(f"  wall time: {time.time()-t0:.1f}s")
@@ -135,13 +141,16 @@ def cmd_run(args) -> int:
         m = mix(args.mix)
         cfg = default_config(scale=args.scale, n_cpus=m.n_cpus,
                              seed=args.seed)
+        if args.predictor is not None:
+            cfg = cfg.with_qos(predictor=args.predictor)
         monitor = InvariantMonitor()
         r = run_system(cfg, m, args.policy, monitor=monitor)
         _print_result(r, args.scale)
         print(f"  {monitor.report().format()}")
         print(f"  wall time: {time.time()-t0:.1f}s")
         return 0
-    r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed)
+    r = run_mix(args.mix, args.policy, scale=args.scale, seed=args.seed,
+                predictor=args.predictor)
     _print_result(r, args.scale)
     print(f"  wall time: {time.time()-t0:.1f}s")
     return 0
@@ -232,6 +241,31 @@ def cmd_compare(args) -> int:
         rel = ws / base_ws if base_ws else 1.0
         print(f"{pol:14s} {r.fps:8.1f} {ws:8.3f} {rel:8.3f}")
     return 1 if failed else 0
+
+
+def cmd_compare_predictors(args) -> int:
+    """Head-to-head frame-time predictor suite (docs/predictors.md)."""
+    from repro.analysis.predictors import compare_predictors
+    from repro.config import PREDICTORS
+    t0 = time.time()
+    mixes = args.mixes.split(",")
+    predictors = tuple(PREDICTORS) if args.predictors == "all" \
+        else tuple(args.predictors.split(","))
+    executor = None
+    address = _remote_address(args)
+    if address is not None:
+        from repro.service import remote_run_many
+
+        def executor(specs):
+            return remote_run_many(specs, address=address,
+                                   progress=_progress)
+    cmp = compare_predictors(mixes=mixes, predictors=predictors,
+                             scale=args.scale, seed=args.seed,
+                             policy=args.policy, progress=_progress,
+                             executor=executor)
+    print(cmp.format())
+    print(f"wall time: {time.time()-t0:.1f}s")
+    return 0
 
 
 def cmd_list(args) -> int:
@@ -419,6 +453,12 @@ def main(argv=None) -> int:
                    help="attach the invariant monitor (conservation, "
                         "occupancy, liveness checks; bypasses cache; "
                         "see docs/robustness.md)")
+    from repro.config import PREDICTORS
+    p.add_argument("--predictor", default=None,
+                   choices=list(PREDICTORS),
+                   help="frame-time predictor behind the FRPU seam "
+                        "(default: the config's, i.e. the paper's "
+                        "'rtp' extrapolator; see docs/predictors.md)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("standalone", help="run one app alone")
@@ -441,6 +481,20 @@ def main(argv=None) -> int:
     p.add_argument("--policies",
                    default="baseline,dynprio,helm,throtcpuprio")
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("compare-predictors",
+                       help="head-to-head frame-time predictor suite: "
+                            "accuracy per phase + end-to-end FPS/CPU-"
+                            "speedup deltas (see docs/predictors.md)")
+    p.add_argument("--mixes", default="M1,M7", metavar="A,B,...",
+                   help="Table III mixes to evaluate (default M1,M7)")
+    p.add_argument("--predictors", default="all", metavar="A,B,...",
+                   help="predictors to pit against each other "
+                        "(default: all registered)")
+    p.add_argument("--policy", default="throtcpuprio",
+                   help="throttling policy consulting the predictor "
+                        "(default throtcpuprio)")
+    p.set_defaults(fn=cmd_compare_predictors)
 
     p = sub.add_parser("list", help="list workloads, mixes, policies")
     p.set_defaults(fn=cmd_list)
@@ -531,7 +585,7 @@ def main(argv=None) -> int:
         sp.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for independent runs "
                              "(0 = one per core; default: $REPRO_JOBS or 1)")
-    for name in ("run", "compare", "sweep"):
+    for name in ("run", "compare", "compare-predictors", "sweep"):
         sub.choices[name].add_argument(
             "--remote", nargs="?", const="", default=None,
             metavar="ADDR",

@@ -288,6 +288,13 @@ class RingConfig:
                  f"got {self.model!r}")
 
 
+#: frame-time predictor registry names (the FRPU seam).  Mirrors
+#: ``repro.predict.PREDICTOR_NAMES`` — kept as a literal here so the
+#: config tree stays import-light; a sync test in tests/predict
+#: enforces the equality.  See docs/predictors.md.
+PREDICTORS: tuple[str, ...] = ("rtp", "rls", "ewma-blend", "last-frame")
+
+
 @dataclass(frozen=True)
 class QosConfig:
     """The proposal's knobs (Section III)."""
@@ -302,6 +309,9 @@ class QosConfig:
     recompute_interval_gpu_cycles: int = 2048
     #: enable the DRAM-scheduler CPU-priority boost
     cpu_priority_boost: bool = True
+    #: frame-time predictor behind the FRPU: "rtp" (the paper's Eqs.
+    #: 1-3 extrapolator, default), "rls", "ewma-blend" or "last-frame"
+    predictor: str = "rtp"
 
     def __post_init__(self) -> None:
         _positive("qos", target_fps=self.target_fps,
@@ -312,6 +322,9 @@ class QosConfig:
         _require(0.0 < self.verify_threshold <= 1.0,
                  "qos.verify_threshold must be in (0, 1], got "
                  f"{self.verify_threshold!r}")
+        _require(self.predictor in PREDICTORS,
+                 f"qos.predictor must be one of {'/'.join(PREDICTORS)}, "
+                 f"got {self.predictor!r}")
 
 
 @dataclass(frozen=True)

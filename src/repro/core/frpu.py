@@ -1,264 +1,26 @@
 """Dynamic frame-rate estimation (Section III-A, Eqs. 1-3, Fig. 4).
 
-The predictor alternates between a *learning* phase — one complete frame
-is monitored and its per-RTP statistics recorded in the RTP information
-table — and a *prediction* phase, where the current frame's projected
-cycle count is
+The FRPU's estimator now lives behind the pluggable ``Predictor``
+interface in :mod:`repro.predict`; the paper's Eqs. 1-3 extrapolator is
+:class:`repro.predict.rtp.RtpExtrapolator`, the reference
+implementation and the default (``SystemConfig.qos.predictor ==
+"rtp"``).  This module keeps the historical import path alive —
+``FrameRatePredictor`` *is* the reference extrapolator — for every
+caller that predates the seam (tests, examples, the guard monitor's
+phase checks).
 
-    F = (lambda * C_inter + (1 - lambda) * C_avg) * N_rtp        (Eq. 3)
-
-with ``lambda`` the fraction of the frame rendered so far, ``C_inter``
-the average cycles/RTP observed in the current frame, and ``C_avg`` /
-``N_rtp`` from the learned frame.  Each completed frame in the
-prediction phase is cross-verified against the learned data; drifting
-more than ``verify_threshold`` discards the learning (back to point B of
-Fig. 4).
-
-Verification uses the *work* metrics (RTP count, updates, RTT counts,
-LLC accesses) rather than cycles: cycle counts legitimately move with
-memory-system contention and with our own throttling, while a change in
-the rendered workload shows up in the work metrics.
-
-Throttle correction: while the ATU gates accesses, observed cycles
-include the injected stall.  The predictor subtracts the pipeline's
-accounted throttle stall from ``C_inter`` to obtain the *natural* frame
-time, so the throttle computation ``W_G = (C_T - C_P)/A`` stays stable
-instead of oscillating (set ``correct_throttle=False`` to get the raw
-paper-literal behaviour; the ablation bench compares both).
+See docs/predictors.md for the interface contract, the learned
+alternatives (``rls``, ``ewma-blend``, ``last-frame``) and the
+head-to-head evaluation suite (``python -m repro compare-predictors``).
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
-from typing import Optional
+from repro.predict.rtp import (LearnedFrame, Phase, PredictionSample,
+                               RtpExtrapolator)
 
-from repro.core.rtp_table import RtpInfoTable
-from repro.gpu.pipeline import FrameRecord, GpuPipeline
+#: the paper's FRPU estimator, under its original name
+FrameRatePredictor = RtpExtrapolator
 
-
-class Phase(enum.Enum):
-    LEARNING = "learning"
-    PREDICTION = "prediction"
-
-
-@dataclass
-class LearnedFrame:
-    """Aggregates the FRPU derives from the RTP table after learning."""
-
-    n_rtp: int
-    c_avg: float                  # average GPU cycles per RTP
-    llc_accesses: int             # A: LLC accesses per frame
-    updates_per_rtp: float
-    rtts_per_rtp: float
-    llc_per_rtp: float
-
-
-@dataclass
-class PredictionSample:
-    frame_index: int
-    lam: float
-    predicted_cycles: float
-
-
-class FrameRatePredictor:
-    #: outstanding mid-frame predictions kept at most; older entries
-    #: belong to frames that will never reach ``on_frame_complete``
-    #: (run ended mid-frame, learning reset) and would otherwise leak
-    MID_FRAME_BOUND = 4
-
-    def __init__(self, rtp_entries: int = 64, verify_threshold: float = 0.25,
-                 correct_throttle: bool = True, skip_frames: int = 1,
-                 ewma_alpha: float = 0.4, telemetry=None):
-        from repro.config import ConfigError
-        if rtp_entries < 1:
-            raise ConfigError(
-                f"frpu.rtp_entries must be >= 1, got {rtp_entries!r}")
-        if not 0.0 < verify_threshold <= 1.0:
-            raise ConfigError("frpu.verify_threshold must be in (0, 1], "
-                              f"got {verify_threshold!r}")
-        if skip_frames < 0:
-            raise ConfigError(
-                f"frpu.skip_frames must be >= 0, got {skip_frames!r}")
-        if not 0.0 < ewma_alpha <= 1.0:
-            raise ConfigError("frpu.ewma_alpha must be in (0, 1], "
-                              f"got {ewma_alpha!r}")
-        self.table = RtpInfoTable(rtp_entries)
-        #: optional repro.telemetry.Telemetry: phase transitions and
-        #: prediction-error samples are emitted when attached
-        self.telemetry = telemetry
-        self.verify_threshold = verify_threshold
-        self.correct_throttle = correct_throttle
-        #: initial frames ignored entirely (cold caches would poison the
-        #: learned cycles/RTP and bias every later prediction upwards)
-        self.skip_frames = skip_frames
-        #: after each verified frame the learned aggregates track the
-        #: observed workload with this EWMA weight, so slow drift in
-        #: contention does not require a full re-learning round trip
-        self.ewma_alpha = ewma_alpha
-        self.phase = Phase.LEARNING
-        self.learned: Optional[LearnedFrame] = None
-        self.phase_transitions: list[tuple[int, Phase]] = []
-        #: per-frame (predicted, actual) cycles for the Fig. 8 error metric
-        self.error_log: list[tuple[int, float, float]] = []
-        self._mid_frame_prediction: dict[int, float] = {}
-        self.frames_learned = 0
-        self.frames_predicted = 0
-
-    # -- prediction (Eqs. 1-3) -----------------------------------------------
-
-    def predict_frame_cycles(self, pipeline: GpuPipeline) -> Optional[float]:
-        """Projected cycles for the frame currently being rendered."""
-        if self.phase is not Phase.PREDICTION or self.learned is None:
-            return None
-        lam = pipeline.frame_progress
-        c_avg = self.learned.c_avg
-        records = pipeline.current_rtp_records()
-        if records:
-            cycles = sum(r.cycles for r in records)
-            if self.correct_throttle:
-                cycles -= sum(r.throttle_ticks for r in records)
-            c_inter = max(cycles / len(records), 1.0)
-        else:
-            # no RTP finished yet in this frame: extrapolate from elapsed
-            elapsed = pipeline.current_frame_elapsed_cycles()
-            if self.correct_throttle:
-                elapsed -= pipeline.current_frame_throttle_cycles()
-            frac = lam * self.learned.n_rtp
-            c_inter = (elapsed / frac) if frac > 0.05 else c_avg
-        c_rtp = lam * c_inter + (1.0 - lam) * c_avg
-        f = c_rtp * self.learned.n_rtp
-        # keep the latest mid-frame prediction for error accounting
-        if 0.25 <= lam <= 0.75:
-            self._note_mid_frame(pipeline._frame_idx, f)
-        return f
-
-    def _note_mid_frame(self, frame_idx: int, predicted: float) -> None:
-        mid = self._mid_frame_prediction
-        mid[frame_idx] = predicted
-        while len(mid) > self.MID_FRAME_BOUND:
-            del mid[min(mid)]
-
-    def predicted_fps(self, pipeline: GpuPipeline, fps_nominal: float,
-                      gpu_frame_cycles: int) -> Optional[float]:
-        f = self.predict_frame_cycles(pipeline)
-        if f is None or f <= 0:
-            return None
-        return fps_nominal * gpu_frame_cycles / f
-
-    # -- frame completion: learn or verify -------------------------------------
-
-    def on_frame_complete(self, rec: FrameRecord) -> None:
-        if rec.index < self.skip_frames:
-            return                     # cold-start frame: ignore
-        if self.phase is Phase.LEARNING:
-            self._learn(rec)
-            return
-        self.frames_predicted += 1
-        self._log_error(rec)
-        if not self._verify(rec):
-            self.table.reset()
-            self.learned = None
-            self._mid_frame_prediction.clear()
-            self.phase = Phase.LEARNING
-            self.phase_transitions.append((rec.index, Phase.LEARNING))
-            if self.telemetry is not None:
-                self.telemetry.emit(
-                    "frpu_phase", tick=rec.end_time, frame=rec.index,
-                    phase=Phase.LEARNING.value,
-                    actual_cycles=rec.cycles)
-        else:
-            self._refresh(rec)
-
-    def _refresh(self, rec: FrameRecord) -> None:
-        """EWMA-track the learned aggregates with a verified frame."""
-        a = self.ewma_alpha
-        learned = self.learned
-        n = max(len(rec.rtps), 1)
-        cycles = rec.cycles - (rec.throttle_ticks
-                               if self.correct_throttle else 0)
-        llc = sum(r.llc_accesses for r in rec.rtps)
-        learned.c_avg = (1 - a) * learned.c_avg + a * (cycles / n)
-        learned.llc_accesses = int((1 - a) * learned.llc_accesses + a * llc)
-        learned.updates_per_rtp = ((1 - a) * learned.updates_per_rtp +
-                                   a * sum(r.updates for r in rec.rtps) / n)
-        learned.rtts_per_rtp = ((1 - a) * learned.rtts_per_rtp +
-                                a * sum(r.n_rtts for r in rec.rtps) / n)
-        learned.llc_per_rtp = (1 - a) * learned.llc_per_rtp + a * llc / n
-
-    def _learn(self, rec: FrameRecord) -> None:
-        self.table.reset()
-        for r in rec.rtps:
-            self.table.record(r.updates, r.cycles - (
-                r.throttle_ticks if self.correct_throttle else 0),
-                r.n_rtts, r.llc_accesses)
-        n = self.table.n_rtps
-        if n == 0:
-            return                     # empty frame: stay learning
-        entries = self.table.valid_entries()
-        self.learned = LearnedFrame(
-            n_rtp=n,
-            c_avg=self.table.avg_cycles_per_rtp(),
-            llc_accesses=self.table.total_llc_accesses(),
-            updates_per_rtp=sum(e.updates for e in entries) / n,
-            rtts_per_rtp=sum(e.n_rtts for e in entries) / n,
-            llc_per_rtp=sum(e.llc_accesses for e in entries) / n,
-        )
-        self.frames_learned += 1
-        self.phase = Phase.PREDICTION
-        self.phase_transitions.append((rec.index, Phase.PREDICTION))
-        if self.telemetry is not None:
-            self.telemetry.emit(
-                "frpu_phase", tick=rec.end_time, frame=rec.index,
-                phase=Phase.PREDICTION.value, n_rtp=self.learned.n_rtp,
-                c_avg=self.learned.c_avg, actual_cycles=rec.cycles)
-
-    def _verify(self, rec: FrameRecord) -> bool:
-        """Cross-verification: does this frame still match the learning?"""
-        learned = self.learned
-        if learned is None:
-            return False
-        if not rec.rtps:
-            return False
-        thr = self.verify_threshold
-
-        def drift(observed: float, expected: float) -> float:
-            if expected <= 0:
-                return 0.0 if observed <= 0 else 1.0
-            return abs(observed - expected) / expected
-
-        n_rtp_obs = len(rec.rtps)
-        if drift(n_rtp_obs, learned.n_rtp) > thr:
-            return False
-        upd = sum(r.updates for r in rec.rtps) / n_rtp_obs
-        rtts = sum(r.n_rtts for r in rec.rtps) / n_rtp_obs
-        llc = sum(r.llc_accesses for r in rec.rtps) / n_rtp_obs
-        return (drift(upd, learned.updates_per_rtp) <= thr and
-                drift(rtts, learned.rtts_per_rtp) <= thr and
-                drift(llc, learned.llc_per_rtp) <= thr)
-
-    def _log_error(self, rec: FrameRecord) -> None:
-        mid = self._mid_frame_prediction
-        for idx in [i for i in mid if i < rec.index]:
-            del mid[idx]              # stale: that frame never completed
-        pred = mid.pop(rec.index, None)
-        if pred is None:
-            return
-        actual = rec.cycles - (rec.throttle_ticks
-                               if self.correct_throttle else 0)
-        if actual > 0:
-            self.error_log.append((rec.index, pred, float(actual)))
-            if self.telemetry is not None:
-                self.telemetry.emit(
-                    "frpu_error", tick=rec.end_time, frame=rec.index,
-                    predicted_cycles=pred, actual_cycles=float(actual),
-                    error_pct=100.0 * (pred - actual) / actual)
-
-    # -- Fig. 8 metric --------------------------------------------------------------
-
-    def percent_errors(self) -> list[float]:
-        return [100.0 * (p - a) / a for _, p, a in self.error_log]
-
-    def mean_abs_percent_error(self) -> float:
-        errs = self.percent_errors()
-        return sum(abs(e) for e in errs) / len(errs) if errs else 0.0
+__all__ = ["FrameRatePredictor", "RtpExtrapolator", "Phase",
+           "LearnedFrame", "PredictionSample"]

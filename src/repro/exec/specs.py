@@ -78,9 +78,21 @@ class RunSpec:
 # -- spec builders for the standard run shapes -------------------------------
 
 def mix_spec(mix_name: str, policy: str = "baseline", scale: str = "test",
-             seed: int = 1) -> RunSpec:
-    """One Table III mix under one policy (the heterogeneous run)."""
-    return RunSpec(mix=mix_name, policy=policy, scale=scale, seed=seed)
+             seed: int = 1, predictor: str = None) -> RunSpec:
+    """One Table III mix under one policy (the heterogeneous run).
+
+    ``predictor`` overrides ``SystemConfig.qos.predictor`` (the FRPU
+    seam, docs/predictors.md) via an explicit cfg; ``repr(cfg)`` feeds
+    the cache key, so each predictor caches separately.
+    """
+    if predictor is None:
+        return RunSpec(mix=mix_name, policy=policy, scale=scale,
+                       seed=seed)
+    cfg = default_config(scale=scale,
+                         n_cpus=mix_by_name(mix_name).n_cpus,
+                         seed=seed).with_qos(predictor=predictor)
+    return RunSpec(mix=mix_name, policy=policy, scale=scale, seed=seed,
+                   cfg=cfg)
 
 
 def standalone_cpu_spec(spec_id: int, scale: str = "test",

@@ -356,20 +356,25 @@ class InvariantMonitor:
         if qos is None:
             return
         frpu = qos.frpu
-        transitions = frpu.phase_transitions
-        while self._phase_idx < len(transitions):
-            i = self._phase_idx
-            if i > 0 and transitions[i][1] is transitions[i - 1][1]:
+        # phase machinery belongs to the reference RTP extrapolator;
+        # learned predictors behind the seam (rls, ewma-blend, ...)
+        # have no phases to police
+        if hasattr(frpu, "phase_transitions"):
+            transitions = frpu.phase_transitions
+            while self._phase_idx < len(transitions):
+                i = self._phase_idx
+                if i > 0 and transitions[i][1] is transitions[i - 1][1]:
+                    self._fail("frpu_phase",
+                               f"illegal self-transition to "
+                               f"{transitions[i][1].value} at frame "
+                               f"{transitions[i][0]} — learning and "
+                               "prediction must alternate")
+                self._phase_idx += 1
+            from repro.core.frpu import Phase
+            if frpu.phase is Phase.PREDICTION and frpu.learned is None:
                 self._fail("frpu_phase",
-                           f"illegal self-transition to "
-                           f"{transitions[i][1].value} at frame "
-                           f"{transitions[i][0]} — learning and "
-                           "prediction must alternate")
-            self._phase_idx += 1
-        from repro.core.frpu import Phase
-        if frpu.phase is Phase.PREDICTION and frpu.learned is None:
-            self._fail("frpu_phase",
-                       "FRPU in prediction phase with no learned frame")
+                           "FRPU in prediction phase with no learned "
+                           "frame")
 
         atu = qos.atu
         if atu.ng < 1:
@@ -467,9 +472,13 @@ class InvariantMonitor:
                 occupancies[core.name] = core.guard_state()
             qos = self._qos()
             if qos is not None:
+                phase = getattr(qos.frpu, "phase", None)
                 control = {
-                    "frpu_phase": qos.frpu.phase.value,
-                    "frpu_learned": qos.frpu.learned is not None,
+                    "predictor": qos.frpu.name,
+                    "frpu_phase": phase.value if phase is not None
+                    else "n/a",
+                    "frpu_learned": getattr(qos.frpu, "learned", None)
+                    is not None,
                     "atu": repr(qos.atu),
                     "throttling": qos.throttling,
                 }

@@ -1,0 +1,92 @@
+"""Per-frame telemetry features for the learned predictors.
+
+The learned models regress the *natural* frame time (observed GPU
+cycles minus ATU-injected stall) onto the frame's **work metrics** —
+the same quantities the FRPU's cross-verification trusts, because they
+move with the rendered workload, not with memory contention or with our
+own throttling:
+
+========== ======================= =====================================
+feature    source                  meaning
+========== ======================= =====================================
+bias       1.0                     intercept
+n_rtp      ``len(rec.rtps)``       render-target planes in the frame
+updates    sum of ``r.updates``    RTT updates across the frame's RTPs
+rtts       sum of ``r.n_rtts``     tile batches across the frame's RTPs
+llc        sum of ``r.llc_accesses`` LLC accesses issued by the frame
+========== ======================= =====================================
+
+Two extraction paths share the schema:
+
+* :func:`frame_features` — from a completed
+  :class:`~repro.gpu.pipeline.FrameRecord` (training observations);
+* :func:`partial_features` — mid-frame, from the pipeline's completed
+  RTP records scaled to a full-frame estimate by the rendered fraction
+  ``lambda``, blended Eq. 3-style with a trailing average of completed
+  frames so an early-frame estimate degrades gracefully toward history
+  instead of exploding (``x_hat = lam * x_partial/lam + (1-lam) *
+  x_ewma``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gpu.pipeline import FrameRecord
+
+#: the feature schema, in vector order (documented in docs/predictors.md)
+FEATURE_NAMES: tuple[str, ...] = ("bias", "n_rtp", "updates", "rtts",
+                                  "llc")
+
+N_FEATURES = len(FEATURE_NAMES)
+
+#: below this rendered fraction a partial-frame scale-up is too noisy
+#: to trust at all; callers fall back to the historical average
+MIN_LAMBDA = 0.05
+
+
+def frame_features(rec: FrameRecord) -> list[float]:
+    """Feature vector of one completed frame (see module table)."""
+    rtps = rec.rtps
+    return [1.0,
+            float(len(rtps)),
+            float(sum(r.updates for r in rtps)),
+            float(sum(r.n_rtts for r in rtps)),
+            float(sum(r.llc_accesses for r in rtps))]
+
+
+def partial_features(pipeline, lam: float,
+                     history: Optional[Sequence[float]]
+                     ) -> Optional[list[float]]:
+    """Full-frame feature estimate for the in-flight frame.
+
+    ``history`` is a trailing average of completed-frame feature
+    vectors (EWMA); ``None`` means no history, in which case only a
+    confidently-scaled partial estimate is returned.  Returns ``None``
+    when neither source can produce an estimate (first frame, nothing
+    rendered yet).
+    """
+    records = pipeline.current_rtp_records()
+    partial: Optional[list[float]] = None
+    if records and lam > MIN_LAMBDA:
+        scale = 1.0 / lam
+        partial = [1.0,
+                   len(records) * scale,
+                   sum(r.updates for r in records) * scale,
+                   sum(r.n_rtts for r in records) * scale,
+                   sum(r.llc_accesses for r in records) * scale]
+    if partial is None:
+        return list(history) if history is not None else None
+    if history is None:
+        return partial
+    # Eq. 3 in feature space: trust the in-frame observation in
+    # proportion to how much of the frame it has seen
+    return [lam * p + (1.0 - lam) * h for p, h in zip(partial, history)]
+
+
+def ewma_update(history: Optional[list[float]], x: Sequence[float],
+                alpha: float) -> list[float]:
+    """One EWMA step of the trailing feature average."""
+    if history is None:
+        return list(x)
+    return [(1.0 - alpha) * h + alpha * v for h, v in zip(history, x)]

@@ -146,10 +146,13 @@ class KernelProfile:
 
 
 def profile_mix(mix_name: str, policy: str = "baseline",
-                scale: str = "smoke", seed: int = 1
+                scale: str = "smoke", seed: int = 1,
+                predictor: Optional[str] = None
                 ) -> tuple["RunResult", KernelProfile]:
     """Run one mix with kernel profiling on (bypasses the result cache —
-    a profiled run is about the breakdown, not the result)."""
+    a profiled run is about the breakdown, not the result).
+    ``predictor`` overrides the FRPU-seam predictor
+    (docs/predictors.md)."""
     from repro.config import default_config
     from repro.mixes import mix as mix_by_name
     from repro.policies import make_policy
@@ -158,6 +161,8 @@ def profile_mix(mix_name: str, policy: str = "baseline",
 
     m = mix_by_name(mix_name)
     cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    if predictor is not None:
+        cfg = cfg.with_qos(predictor=predictor)
     system = HeterogeneousSystem(cfg, m, make_policy(policy))
     prof = system.sim.enable_profiling()
     system.run()

@@ -45,6 +45,14 @@ class RunResult:
     gpu_texture_share: float = 0.0
     qos: dict[str, float] = field(default_factory=dict)
     frpu_errors: list[float] = field(default_factory=list)
+    #: frame-time predictor behind the FRPU seam ('' when the policy
+    #: has no QoS controller); see docs/predictors.md
+    predictor: str = ""
+    #: per-prediction samples (frame index, predicted cycles, actual
+    #: natural cycles) — the raw material of the compare-predictors
+    #: accuracy tables; frpu_errors is the derived percent series
+    prediction_log: list[tuple[int, float, float]] = \
+        field(default_factory=list)
     #: always-on per-side LLC read round-trip latency (created_at ->
     #: data return, ticks): {cpu,gpu}_{mean,p95,n} — see
     #: SharedLLC.rt_summary; analysis/tables.py renders these
@@ -68,12 +76,16 @@ def collect(system: "HeterogeneousSystem") -> RunResult:
     gpu = system.gpu
     qos_stats: dict[str, float] = {}
     errors: list[float] = []
+    predictor = ""
+    prediction_log: list[tuple[int, float, float]] = []
     qos = getattr(system.policy, "qos", None)
     if qos is not None:
         qos_stats = {k: float(v) for k, v in qos.stats.snapshot().items()}
         qos_stats["frames_learned"] = qos.frpu.frames_learned
         qos_stats["frames_predicted"] = qos.frpu.frames_predicted
         errors = qos.frpu.percent_errors()
+        predictor = qos.frpu.name
+        prediction_log = list(qos.frpu.error_log)
     return RunResult(
         mix_name=system.mix.name,
         policy_name=system.policy.name,
@@ -96,6 +108,8 @@ def collect(system: "HeterogeneousSystem") -> RunResult:
         gpu_texture_share=gpu.texture_share() if gpu else 0.0,
         qos=qos_stats,
         frpu_errors=errors,
+        predictor=predictor,
+        prediction_log=prediction_log,
         llc_latency=system.llc.rt_summary(),
     )
 

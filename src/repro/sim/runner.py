@@ -48,10 +48,17 @@ def run_system(cfg: SystemConfig, mix: Mix,
 
 
 def run_mix(mix_name: str, policy: str = "baseline", scale: str = "test",
-            seed: int = 1) -> RunResult:
-    """Run one Table III mix under one policy."""
+            seed: int = 1, predictor: str = None) -> RunResult:
+    """Run one Table III mix under one policy.
+
+    ``predictor`` overrides the frame-time predictor behind the FRPU
+    seam (``SystemConfig.qos.predictor``; see docs/predictors.md) —
+    only meaningful for policies with a QoS controller.
+    """
     m = mix_by_name(mix_name)
     cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    if predictor is not None:
+        cfg = cfg.with_qos(predictor=predictor)
     return run_system(cfg, m, policy)
 
 

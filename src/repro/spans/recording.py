@@ -18,12 +18,14 @@ def trace_mix(mix_name: str, policy: str = "throtcpuprio",
               scale: str = "smoke", seed: int = 1,
               path: Optional[str] = None, sample_every: int = 64,
               tracer: Optional[SpanTracer] = None,
-              telemetry=None) -> tuple["RunResult", SpanTracer]:
+              telemetry=None, predictor: Optional[str] = None
+              ) -> tuple["RunResult", SpanTracer]:
     """Run one mix with span tracing on.
 
     Pass ``path`` to stream spans/gauges to a JSONL file, or a
     pre-built ``tracer`` (custom sampling).  ``telemetry`` combines a
-    control-loop recording with the same run.  Returns
+    control-loop recording with the same run.  ``predictor`` overrides
+    the FRPU-seam predictor (docs/predictors.md).  Returns
     ``(result, tracer)``; the tracer is closed.
     """
     from repro.config import default_config
@@ -36,6 +38,8 @@ def trace_mix(mix_name: str, policy: str = "throtcpuprio",
         tracer = SpanTracer(sample_every=sample_every, path=path)
     m = mix_by_name(mix_name)
     cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    if predictor is not None:
+        cfg = cfg.with_qos(predictor=predictor)
     system = HeterogeneousSystem(cfg, m, make_policy(policy),
                                  telemetry=telemetry, tracer=tracer)
     system.run()

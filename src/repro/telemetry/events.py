@@ -65,7 +65,7 @@ SCHEMA: dict[str, EventSpec] = {s.etype: s for s in [
                "ATU-injected stall accounted to the frame"),
          Field("n_rtps", "int", "", "render-target planes in the frame")]),
     _spec(
-        "frpu_phase", "core.frpu.FrameRatePredictor",
+        "frpu_phase", "predict.rtp.RtpExtrapolator",
         "The FRPU crossed a learning <-> prediction boundary (Fig. 4).",
         [Field("tick", "int", "tick", "completion time of the frame that "
                "triggered the transition"),
@@ -80,12 +80,28 @@ SCHEMA: dict[str, EventSpec] = {s.etype: s for s in [
                "the triggering frame")],
         optional=("n_rtp", "c_avg")),
     _spec(
-        "frpu_error", "core.frpu.FrameRatePredictor._log_error",
+        "frpu_error", "predict.rtp.RtpExtrapolator._log_error",
         "Mid-frame prediction vs. the frame's actual cycles (Fig. 8).",
         [Field("tick", "int", "tick", "frame completion time"),
          Field("frame", "int", "", "frame index"),
          Field("predicted_cycles", "float", "GPU cycles",
                "Eq. 3 projection taken mid-frame (lambda in [0.25,0.75])"),
+         Field("actual_cycles", "float", "GPU cycles",
+               "observed natural frame time (throttle stall removed)"),
+         Field("error_pct", "float", "%",
+               "100 * (predicted - actual) / actual")]),
+    _spec(
+        "predictor_error", "predict.base.Predictor._emit_error",
+        "Mid-frame prediction vs. actual cycles from a non-reference "
+        "predictor behind the FRPU seam (see docs/predictors.md).  The "
+        "reference 'rtp' extrapolator keeps emitting 'frpu_error' for "
+        "byte-stream compatibility.",
+        [Field("tick", "int", "tick", "frame completion time"),
+         Field("frame", "int", "", "frame index"),
+         Field("predictor", "str", "", "predictor registry name "
+               "(rls, ewma-blend, last-frame, ...)"),
+         Field("predicted_cycles", "float", "GPU cycles",
+               "mid-frame frame-time projection"),
          Field("actual_cycles", "float", "GPU cycles",
                "observed natural frame time (throttle stall removed)"),
          Field("error_pct", "float", "%",

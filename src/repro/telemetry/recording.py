@@ -17,13 +17,16 @@ if TYPE_CHECKING:  # pragma: no cover
 def record_mix(mix_name: str, policy: str = "throtcpuprio",
                scale: str = "smoke", seed: int = 1,
                path: Optional[str] = None,
-               telemetry: Optional[Telemetry] = None
+               telemetry: Optional[Telemetry] = None,
+               predictor: Optional[str] = None
                ) -> tuple["RunResult", Telemetry]:
     """Run one mix with telemetry recording on.
 
     Pass ``path`` to stream to a JSONL/CSV file, or a pre-built
     ``telemetry`` (e.g. with custom sinks or sampling interval).
-    Returns ``(result, telemetry)``; the telemetry is closed.
+    ``predictor`` overrides the FRPU-seam predictor
+    (docs/predictors.md).  Returns ``(result, telemetry)``; the
+    telemetry is closed.
     """
     from repro.config import default_config
     from repro.mixes import mix as mix_by_name
@@ -35,6 +38,8 @@ def record_mix(mix_name: str, policy: str = "throtcpuprio",
         telemetry = Telemetry.to_file(path) if path else Telemetry()
     m = mix_by_name(mix_name)
     cfg = default_config(scale=scale, n_cpus=m.n_cpus, seed=seed)
+    if predictor is not None:
+        cfg = cfg.with_qos(predictor=predictor)
     system = HeterogeneousSystem(cfg, m, make_policy(policy),
                                  telemetry=telemetry)
     system.run()

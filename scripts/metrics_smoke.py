@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""End-to-end observability smoke test (CI gate).
+
+Boots a real ``python -m repro serve --log-file`` daemon as a
+subprocess, drives it with two clients, and proves the observability
+contract:
+
+1. ``GET /metrics`` serves valid Prometheus text over the Unix socket
+   (the daemon sniffs HTTP, so no TCP listener is needed) and the
+   counters obey the accounting identities — submissions, queued,
+   ``started + cache_served == done``, worker jobs, cache hit/miss
+   arithmetic — including the second client's repeat batch landing
+   entirely on the cache side of the ledger;
+2. ``GET /healthz`` reports a live pool and zero queue depth at rest;
+3. ``python -m repro top --once`` renders a dashboard frame against
+   the live daemon;
+4. every submitted spec's trace ID runs end to end through the oplog
+   (``submit`` → ``queued`` → ``started`` → ``run_start`` →
+   ``run_done`` → ``done``, crossing the worker process boundary), and
+   the SIGTERM drain appends a ``drain_summary`` record.
+
+Exits non-zero on the first violated property.  Usage::
+
+    PYTHONPATH=src python scripts/metrics_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.oplog import OpLogView  # noqa: E402
+from repro.exec import standalone_cpu_spec  # noqa: E402
+from repro.metrics import configure as configure_oplog  # noqa: E402
+from repro.metrics.top import (fetch, hist_quantile,  # noqa: E402
+                               parse_prometheus, sample_value)
+from repro.service import ServiceClient, service_available  # noqa: E402
+
+SERVE_BOOT_TIMEOUT = 30.0
+DRAIN_TIMEOUT = 30.0
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def scrape(sock: str) -> dict:
+    status, body = fetch(sock, "/metrics")
+    if status != 200:
+        fail(f"/metrics returned HTTP {status}")
+    text = body.decode("utf-8")
+    if "# TYPE" not in text:
+        fail("/metrics body does not look like Prometheus text")
+    return parse_prometheus(text)
+
+
+def main() -> int:
+    work = Path(tempfile.mkdtemp(prefix="metrics-smoke-"))
+    sock = str(work / "svc.sock")
+    oplog_path = str(work / "ops.jsonl")
+    # the client-side `submit` records and the daemon's records land in
+    # the same JSONL file — append-mode line writes keep them whole, and
+    # the trace join below proves correlation across the two processes
+    configure_oplog(path=oplog_path, level="debug")
+    env = dict(os.environ, PYTHONPATH=str(
+        Path(__file__).resolve().parent.parent / "src"),
+        REPRO_CACHE_DIR=str(work / "cache"))
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--workers", "2", "--log-file", oplog_path,
+         "--log-level", "debug"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+    try:
+        deadline = time.monotonic() + SERVE_BOOT_TIMEOUT
+        while not service_available(sock):
+            if proc.poll() is not None or time.monotonic() > deadline:
+                print(proc.stdout.read() if proc.stdout else "")
+                fail("daemon did not come up")
+            time.sleep(0.2)
+        print(f"daemon up (pid {proc.pid}) at {sock}")
+
+        # -- 1. two clients, then counter arithmetic ---------------------
+        specs = [standalone_cpu_spec(b, scale="smoke")
+                 for b in (403, 429)]
+        first = ServiceClient(sock, client_id="smoke-a")
+        out_a = first.submit(specs)
+        traces = list(first.last_traces)
+        out_b = ServiceClient(sock, client_id="smoke-b").submit(specs)
+        if not all(o.ok for o in out_a + out_b):
+            fail("a submission failed")
+        if len(traces) != len(specs):
+            fail(f"client minted {len(traces)} trace IDs for "
+                 f"{len(specs)} specs")
+
+        fam = scrape(sock)
+
+        def v(name: str, **labels) -> int:
+            return int(sample_value(fam, name, **labels))
+
+        submissions = v("repro_submissions_total")
+        queued = v("repro_jobs_queued_total")
+        started = v("repro_jobs_started_total")
+        served = v("repro_jobs_cache_served_total")
+        done = v("repro_jobs_done_total")
+        worker_jobs = v("repro_worker_jobs_total")
+        if submissions != 2 * len(specs):
+            fail(f"expected {2 * len(specs)} submissions, "
+                 f"metrics say {submissions}")
+        if started != len(specs):
+            fail(f"expected {len(specs)} started jobs, got {started}")
+        if started + served != done or done != queued:
+            fail(f"accounting identity broken: queued={queued} "
+                 f"started={started} cache_served={served} done={done}")
+        if worker_jobs != len(specs):
+            fail(f"worker-side delta shipping lost jobs: "
+                 f"{worker_jobs} != {len(specs)}")
+        hits = (v("repro_cache_hits_total", layer="memory")
+                + v("repro_cache_hits_total", layer="disk"))
+        if hits < len(specs):
+            fail(f"repeat batch missed the cache: {hits} hits")
+        if hist_quantile(fam, "repro_request_ns", 0.5,
+                         transport="socket") is None:
+            fail("request latency histogram has no socket samples")
+        print(f"counter arithmetic: {submissions} submissions, "
+              f"{started} executions + {served} cache-served = {done} "
+              f"done, {worker_jobs} worker jobs, {hits} cache hits")
+
+        # -- 2. healthz --------------------------------------------------
+        status, body = fetch(sock, "/healthz")
+        health = json.loads(body.decode("utf-8"))
+        if status != 200 or not health.get("ok"):
+            fail(f"/healthz not ok: {health}")
+        if health["pool"]["alive"] != health["pool"]["size"]:
+            fail(f"pool degraded: {health['pool']}")
+        if health["queue_depth"] != 0:
+            fail(f"queue not drained: {health}")
+        print(f"healthz: ok, pool {health['pool']['alive']}/"
+              f"{health['pool']['size']}, uptime "
+              f"{health['uptime']:.1f}s")
+
+        # -- 3. the live top view ----------------------------------------
+        top = subprocess.run(
+            [sys.executable, "-m", "repro", "top", sock, "--once"],
+            env=env, capture_output=True, text=True, timeout=60)
+        if top.returncode != 0:
+            fail(f"repro top --once exited {top.returncode}: "
+                 f"{top.stderr}")
+        if "repro service" not in top.stdout:
+            fail(f"top frame missing header: {top.stdout!r}")
+        print("top --once frame:")
+        print("\n".join("  | " + ln
+                        for ln in top.stdout.strip().splitlines()))
+
+        # -- 4. drain, then trace IDs end to end -------------------------
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=DRAIN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            fail("daemon did not exit after SIGTERM")
+        if rc != 0:
+            print(proc.stdout.read() if proc.stdout else "")
+            fail(f"daemon exited {rc} after SIGTERM")
+
+        view = OpLogView.load(oplog_path)
+        lifecycle = ("submit", "queued", "started", "run_start",
+                     "run_done", "done")
+        for trace in traces:
+            events = [r["event"] for r in view.trace(trace)]
+            missing = [ev for ev in lifecycle if ev not in events]
+            if missing:
+                fail(f"trace {trace} missing {missing}: {events}")
+        if not any(r.get("event") == "drain_summary"
+                   for r in view.records):
+            fail("no drain_summary record in the oplog")
+        print(f"oplog: {len(view.records)} records, "
+              f"{len(view.trace_ids())} traces; every submitted trace "
+              f"ran {' > '.join(lifecycle)}; drain_summary present")
+        print("metrics smoke: all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,9 @@ Examples::
     python -m repro cache prune --max-size 512   # LRU eviction (MB)
     python -m repro cache --clear
     python -m repro serve --workers 4            # simulation service
+    python -m repro serve --log-file ops.jsonl --log-level debug
+    python -m repro top                          # live daemon dashboard
+    python -m repro top --once                   # one frame (scripts)
     python -m repro run --mix M7 --remote        # route via the daemon
     python -m repro compare --mix M7 --remote .repro_service.sock
 
@@ -366,8 +369,12 @@ def cmd_cache(args) -> int:
 
 def cmd_serve(args) -> int:
     """Run the simulation service daemon (see docs/service.md)."""
+    from repro import metrics as metrics_mod
     from repro.service import ServiceDaemon
     from repro.service.scheduler import AdmissionController
+    # structured JSONL oplog: stderr unless --log-file; forked pool
+    # workers inherit the sink (docs/observability.md)
+    metrics_mod.configure(path=args.log_file, level=args.log_level)
     daemon = ServiceDaemon(
         socket_path=args.socket,
         http_port=args.http_port,
@@ -382,11 +389,21 @@ def cmd_serve(args) -> int:
              if args.http_port else "")
           + f", {args.workers} warm worker(s)")
     print(f"  cache: {os.path.abspath(daemon.cache.root)}")
+    print(f"  oplog: {args.log_file or 'stderr'} "
+          f"(level {args.log_level}); GET /metrics + /healthz for "
+          "scraping, `python -m repro top` for a live view")
     print("  SIGTERM/SIGINT drains gracefully "
           "(queued jobs salvage as 'interrupted')")
     daemon.serve_forever()
     print("service drained; bye")
     return 0
+
+
+def cmd_top(args) -> int:
+    """Live terminal view of a running daemon (docs/observability.md)."""
+    from repro.metrics.top import run_top
+    return run_top(address=args.address, interval=args.interval,
+                   once=args.once)
 
 
 def cmd_faults(args) -> int:
@@ -565,7 +582,27 @@ def main(argv=None) -> int:
     p.add_argument("--admit-depth", type=int, default=4, metavar="D",
                    help="backlog target: no gating at or below this "
                         "queue depth (default 4)")
+    p.add_argument("--log-file", default=None, metavar="PATH",
+                   help="append JSONL oplog records to PATH "
+                        "(default: stderr)")
+    p.add_argument("--log-level", default="info",
+                   choices=["debug", "info", "warning", "error"],
+                   help="oplog severity threshold (default info)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("top",
+                       help="live view of a running daemon: polls "
+                            "GET /metrics + /healthz "
+                            "(see docs/observability.md)")
+    p.add_argument("address", nargs="?", default=None,
+                   help="daemon rendezvous: socket path or host:port "
+                        "(default $REPRO_SERVICE or "
+                        ".repro_service.sock)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh period in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (for scripts)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("faults",
                        help="fault-injection campaign: every fault "

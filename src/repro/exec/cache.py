@@ -37,9 +37,17 @@ import os
 import pickle
 import tempfile
 import warnings
+from contextlib import contextmanager
 from copy import deepcopy
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:                    # pragma: no cover - non-POSIX
+    fcntl = None
+
+from repro import metrics as _metrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.specs import RunSpec
@@ -156,6 +164,9 @@ class ResultCache:
         silently: a half-loaded result would poison every figure that
         normalises against it."""
         self.stats.corrupt += 1
+        _metrics.counter("repro_cache_corrupt_total",
+                         "Cache files quarantined on checksum "
+                         "failure").inc()
         try:
             os.replace(path, path + ".corrupt")
             moved = True
@@ -202,20 +213,31 @@ class ResultCache:
         hit = self._memory.get(key)
         if hit is not None:
             self.stats.memory_hits += 1
+            _metrics.counter("repro_cache_hits_total",
+                             "Result-cache hits by layer",
+                             layer="memory").inc()
             return deepcopy(hit), "memory"
         if self.disk_enabled():
             result = self._read_disk(self.path_for(key))
             if result is not None:
                 self._memory[key] = result
                 self.stats.disk_hits += 1
+                _metrics.counter("repro_cache_hits_total",
+                                 "Result-cache hits by layer",
+                                 layer="disk").inc()
                 return deepcopy(result), "disk"
         self.stats.misses += 1
+        _metrics.counter("repro_cache_misses_total",
+                         "Result-cache lookups that missed both "
+                         "layers").inc()
         return None, "miss"
 
     def put(self, spec: "RunSpec", result: "RunResult") -> None:
         key = self.key_for(spec)
         self._memory[key] = deepcopy(result)
         self.stats.stores += 1
+        _metrics.counter("repro_cache_stores_total",
+                         "Results written into the cache").inc()
         if not self.disk_enabled():
             return
         path = self.path_for(key)
@@ -332,12 +354,37 @@ class ResultCache:
             removed += 1
             freed += size
             self.stats.pruned += 1
+            _metrics.counter("repro_cache_pruned_total",
+                             "Result files evicted by prune()").inc()
         return removed, freed
 
     # -- store-wide persisted counters ---------------------------------------
 
     def _stats_path(self) -> str:
         return os.path.join(self.root, STATS_FILE)
+
+    @contextmanager
+    def _stats_lock(self):
+        """Exclusive ``flock`` on ``stats.json.lock`` for the duration
+        of a read-merge-write.
+
+        ``flock`` serialises both across processes and across threads
+        (each entry opens its own descriptor, and the lock binds to the
+        open file description, not the pid).  Closing the descriptor
+        releases the lock.  On platforms without :mod:`fcntl` this is a
+        no-op and persist_stats degrades to the old last-writer-wins
+        behaviour.
+        """
+        if fcntl is None:              # pragma: no cover - non-POSIX
+            yield
+            return
+        fd = os.open(self._stats_path() + ".lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
 
     def persisted_stats(self) -> dict:
         """Counters accumulated in the store's ``stats.json`` by every
@@ -354,24 +401,30 @@ class ResultCache:
 
         Called by long-lived owners of a shared store (the service
         daemon on shutdown and periodically, the CLI after batch
-        commands).  Merge is read-add-write with an atomic replace:
-        concurrent writers may lose each other's *latest* delta, never
-        corrupt the file — acceptable for monitoring counters.
-        Returns the merged store-wide totals.
+        commands).  The read-merge-write runs under
+        :meth:`_stats_lock`, so concurrent writers serialise instead of
+        losing each other's deltas (pinned by the two-writer race test
+        in ``tests/metrics/test_persist_stats.py``); the write itself
+        stays atomic-replace, so a crashed writer can tear the lock
+        window but never the file.  Returns the merged store-wide
+        totals.
         """
         current = asdict(self.stats)
         last = asdict(self._persisted)
         delta = {k: current[k] - last[k] for k in current}
-        merged = self.persisted_stats()
-        for k, v in delta.items():
-            merged[k] = merged.get(k, 0) + v
         try:
             os.makedirs(self.root, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(merged, fh, indent=0, sort_keys=True)
-            os.replace(tmp, self._stats_path())
+            with self._stats_lock():
+                merged = self.persisted_stats()
+                for k, v in delta.items():
+                    merged[k] = merged.get(k, 0) + v
+                fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(merged, fh, indent=0, sort_keys=True)
+                os.replace(tmp, self._stats_path())
             self._persisted = CacheStats(**current)
-        except OSError:
-            pass                      # best-effort, like put()
+        except OSError:               # best-effort, like put()
+            merged = self.persisted_stats()
+            for k, v in delta.items():
+                merged[k] = merged.get(k, 0) + v
         return merged

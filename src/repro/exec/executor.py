@@ -43,6 +43,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, TYPE_CHECKING
 
+from repro import metrics as _metrics
 from repro.exec.cache import ResultCache
 from repro.exec.specs import RunSpec
 
@@ -59,6 +60,22 @@ counters = {"executed": 0}
 
 def reset_counters() -> None:
     counters["executed"] = 0
+
+
+def _count_attempt() -> None:
+    _metrics.counter("repro_exec_attempts_total",
+                     "Simulation execution attempts launched (includes "
+                     "retried and fallback attempts)").inc()
+
+
+def _count_fault(why: str, retried: bool) -> None:
+    kind = "death" if why == "worker died" else "timeout"
+    _metrics.counter("repro_exec_faults_total",
+                     "Attempts lost to worker death or wall-clock "
+                     "timeout", kind=kind).inc()
+    if retried:
+        _metrics.counter("repro_exec_retries_total",
+                         "Faulted attempts re-queued with backoff").inc()
 
 
 def default_jobs() -> int:
@@ -196,6 +213,7 @@ def run_cached(spec: RunSpec,
     if hit is not None:
         return hit
     counters["executed"] += 1
+    _count_attempt()
     result = spec.run()
     cache.put(spec, result)           # put() stores its own deep copy
     return result
@@ -277,6 +295,8 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     specs = list(specs)
     cache = cache or shared_cache()
     jobs = default_jobs() if jobs is None else max(int(jobs), 1)
+    _metrics.counter("repro_batches_total",
+                     "run_many batches started").inc()
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive seconds (or None)")
     if retries < 0 or backoff < 0:
@@ -331,6 +351,7 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
     def run_serial(key: str, spec) -> None:
         t0 = time.perf_counter()
         counters["executed"] += 1
+        _count_attempt()
         try:
             result = spec.run()
         except Exception:
@@ -366,13 +387,23 @@ def run_many(specs: Iterable[RunSpec], jobs: Optional[int] = None,
                          fallback)
     except KeyboardInterrupt:
         salvage()
-        raise BatchInterrupted(
-            [o for o in outcomes if o is not None]) from None
+        _metrics.counter("repro_exec_interrupted_total",
+                         "Batches cut short by SIGINT/SIGTERM").inc()
+        partial = [o for o in outcomes if o is not None]
+        _metrics.oplog().emit(
+            "batch_interrupted", level="warning",
+            completed=sum(1 for o in partial if o.ok),
+            total=len(partial))
+        raise BatchInterrupted(partial) from None
     finally:
         restore()
 
     done: List[RunOutcome] = [o for o in outcomes if o is not None]
     assert len(done) == total, "executor lost a batch slot"
+    for o in done:
+        _metrics.counter("repro_runs_total",
+                         "Batch slots resolved, by where the result "
+                         "came from", source=o.source).inc()
     if strict and any(not o.ok for o in done):
         raise BatchError(done)
     return done
@@ -396,6 +427,7 @@ def _run_managed(order: List[tuple], finish, jobs: int,
     def launch(task: _Task) -> None:
         task.attempts += 1
         counters["executed"] += 1
+        _count_attempt()
         parent, child = ctx.Pipe(duplex=False)
         task.conn = parent
         task.proc = ctx.Process(target=_task_worker,
@@ -425,6 +457,7 @@ def _run_managed(order: List[tuple], finish, jobs: int,
         reap(task)
 
     def retry_or_fail(task: _Task, why: str) -> None:
+        _count_fault(why, retried=task.attempts <= retries)
         if task.attempts <= retries:
             delay = backoff * (2 ** (task.attempts - 1))
             task.not_before = time.monotonic() + delay
@@ -512,12 +545,14 @@ def _run_pooled(order: List[tuple], finish, pool: "WorkerPool",
     def launch(task: _Task) -> None:
         task.attempts += 1
         counters["executed"] += 1
+        _count_attempt()
         pool.submit(task.key, task.spec)
         task.deadline = (time.monotonic() + timeout
                          if timeout is not None else None)
         inflight[task.key] = task
 
     def retry_or_fail(task: _Task, why: str) -> None:
+        _count_fault(why, retried=task.attempts <= retries)
         if task.attempts <= retries:
             delay = backoff * (2 ** (task.attempts - 1))
             task.not_before = time.monotonic() + delay

@@ -45,6 +45,8 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro import metrics as _metrics
+
 __all__ = ["PoolEvent", "WorkerPool"]
 
 
@@ -56,10 +58,17 @@ def _mp_context():
 def _pool_worker(conn) -> None:
     """Worker body: warm-import, handshake, then serve jobs until EOF.
 
-    Every reply is ``("done", tag, (ok, payload, elapsed))``; errors
-    travel as data (formatted tracebacks), never as a crashed worker —
-    a genuinely dead worker is detected by the parent as EOF on the
-    pipe.  ``None`` is the shutdown sentinel.
+    Every reply is ``("done", tag, (ok, payload, elapsed), delta)``
+    where ``delta`` is the worker's metrics-registry change since its
+    previous reply (``None`` when nothing moved) — the parent folds it
+    into its own registry, so per-worker instruments surface in the
+    daemon's ``/metrics`` without any side channel.  Errors travel as
+    data (formatted tracebacks), never as a crashed worker — a
+    genuinely dead worker is detected by the parent as EOF on the pipe.
+    ``None`` is the shutdown sentinel; jobs arrive as ``(tag, spec)``
+    or ``(tag, spec, trace_id)``, and the trace ID (when the parent
+    configured an oplog before forking) stamps the worker's
+    ``run_start``/``run_done`` records.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -77,6 +86,11 @@ def _pool_worker(conn) -> None:
         conn.send(("ready", os.getpid()))
     except Exception:                    # pragma: no cover
         return
+    jobs = _metrics.counter("repro_worker_jobs_total",
+                            "Jobs executed by pool workers")
+    run_ns = _metrics.histogram("repro_worker_run_ns",
+                                "Per-job wall time inside the worker")
+    prev = _metrics.registry().snapshot()
     while True:
         try:
             msg = conn.recv()
@@ -84,7 +98,13 @@ def _pool_worker(conn) -> None:
             break
         if msg is None:                  # orderly shutdown
             break
-        tag, spec = msg
+        if len(msg) == 3:
+            tag, spec, trace_id = msg
+        else:
+            tag, spec = msg
+            trace_id = None
+        _metrics.oplog().emit("run_start", level="debug",
+                              trace_id=trace_id, tag=str(tag))
         t0 = time.perf_counter()
         try:
             result = spec.run()
@@ -92,14 +112,22 @@ def _pool_worker(conn) -> None:
         except BaseException:
             payload = (False, traceback.format_exc(),
                        time.perf_counter() - t0)
+        jobs.inc()
+        run_ns.record(int(payload[2] * 1e9))
+        _metrics.oplog().emit("run_done", trace_id=trace_id,
+                              tag=str(tag), ok=payload[0],
+                              elapsed=round(payload[2], 6))
+        cur = _metrics.registry().snapshot()
+        delta = _metrics.snapshot_delta(cur, prev) or None
+        prev = cur
         try:
-            conn.send(("done", tag, payload))
+            conn.send(("done", tag, payload, delta))
         except Exception:
             # result not picklable (or pipe gone): report, don't die
             try:
                 conn.send(("done", tag,
                            (False, traceback.format_exc(),
-                            time.perf_counter() - t0)))
+                            time.perf_counter() - t0), None))
             except Exception:            # pragma: no cover
                 break
     try:
@@ -164,11 +192,15 @@ class WorkerPool:
         w.tag = None
         w.ready = False
         self.spawned += 1
+        _metrics.counter("repro_pool_spawned_total",
+                         "Worker processes spawned (initial + "
+                         "respawns)").inc()
 
     def start(self, warm_timeout: float = 60.0) -> "WorkerPool":
         """Spawn all workers and wait for their warm-import handshake."""
         if self._started:
             return self
+        t0 = time.perf_counter()
         self._workers = [_Worker() for _ in range(self.size)]
         for w in self._workers:
             self._spawn(w)
@@ -176,6 +208,12 @@ class WorkerPool:
         deadline = time.monotonic() + warm_timeout
         for w in self._workers:
             self._await_ready(w, deadline)
+        _metrics.histogram(
+            "repro_pool_warm_ns",
+            "Spawn-to-all-ready warm handshake time per pool "
+            "start").record(int((time.perf_counter() - t0) * 1e9))
+        _metrics.gauge("repro_pool_size",
+                       "Configured worker count").set(self.size)
         return self
 
     def _await_ready(self, w: _Worker, deadline: float) -> None:
@@ -237,6 +275,17 @@ class WorkerPool:
         self._require_open()
         return sum(1 for w in self._workers if w.tag is None)
 
+    def alive_count(self) -> int:
+        """Workers whose process is currently alive (liveness probe
+        for ``/healthz``; equals ``size`` in a healthy pool)."""
+        return sum(1 for w in self._workers
+                   if w.proc is not None and w.proc.is_alive())
+
+    def _track_busy(self) -> None:
+        _metrics.gauge("repro_pool_busy_workers",
+                       "Workers currently running a job"
+                       ).set(len(self._busy()))
+
     def busy_tags(self) -> List[object]:
         return [w.tag for w in self._workers if w.tag is not None]
 
@@ -247,20 +296,23 @@ class WorkerPool:
         if not self._started or self._closed:
             raise RuntimeError("pool is not started (or already closed)")
 
-    def submit(self, tag, spec) -> None:
-        """Hand ``(tag, spec)`` to an idle worker; the caller must have
-        checked :meth:`idle_count` first."""
+    def submit(self, tag, spec, trace_id: Optional[str] = None) -> None:
+        """Hand ``(tag, spec, trace_id)`` to an idle worker; the caller
+        must have checked :meth:`idle_count` first.  ``trace_id`` rides
+        beside the spec (never inside it — cache keys stay unperturbed)
+        and stamps the worker's oplog records."""
         self._require_open()
         for w in self._workers:
             if w.tag is None:
                 try:
-                    w.conn.send((tag, spec))
+                    w.conn.send((tag, spec, trace_id))
                 except (OSError, BrokenPipeError):
                     # worker died idle: respawn once and re-dispatch
                     self._respawn(w, recycle=True)
                     self._await_ready(w, time.monotonic() + 60.0)
-                    w.conn.send((tag, spec))
+                    w.conn.send((tag, spec, trace_id))
                 w.tag = tag
+                self._track_busy()
                 return
         raise RuntimeError("no idle worker (check idle_count first)")
 
@@ -285,17 +337,27 @@ class WorkerPool:
                 msg = w.conn.recv()
             except (EOFError, OSError):
                 self._respawn(w, recycle=True)
+                _metrics.counter("repro_pool_deaths_total",
+                                 "Workers that died mid-job (EOF "
+                                 "before reply)").inc()
                 events.append(PoolEvent(tag, None))
+                self._track_busy()
                 continue
             if not msg or msg[0] != "done":   # pragma: no cover
                 continue                      # stray handshake replay
-            _kind, msg_tag, (ok, payload, elapsed) = msg
+            # replies are ("done", tag, (ok, payload, elapsed)[, delta])
+            _kind, msg_tag, (ok, payload, elapsed) = msg[:3]
+            if len(msg) > 3 and msg[3]:
+                _metrics.registry().merge(msg[3])
             if msg_tag != tag:                # pragma: no cover
                 # a stale reply from before a recycle: drop it
                 continue
             w.tag = None
             self.completed += 1
+            _metrics.counter("repro_pool_completed_total",
+                             "Job replies received from workers").inc()
             events.append(PoolEvent(tag, ok, payload, elapsed))
+        self._track_busy()
         return events
 
     def recycle(self, tag) -> None:
@@ -305,6 +367,7 @@ class WorkerPool:
         for w in self._workers:
             if w.tag == tag:
                 self._respawn(w, recycle=True)
+                self._track_busy()
                 return
         raise KeyError(f"no worker is running {tag!r}")
 
@@ -316,6 +379,7 @@ class WorkerPool:
             if w.tag is not None:
                 tags.append(w.tag)
                 self._respawn(w, recycle=True)
+        self._track_busy()
         return tags
 
     def _respawn(self, w: _Worker, recycle: bool = False) -> None:
@@ -329,6 +393,9 @@ class WorkerPool:
             w.conn.close()
         if recycle:
             self.recycled += 1
+            _metrics.counter("repro_pool_recycled_total",
+                             "Workers killed and respawned (timeouts, "
+                             "interrupts, dead pipes)").inc()
         self._spawn(w)
 
     def __repr__(self) -> str:

@@ -1,0 +1,62 @@
+"""repro.metrics — operational observability for the serving stack.
+
+Three layers (see ``docs/observability.md``):
+
+* :mod:`repro.metrics.instruments` — the primitives: :class:`Counter`,
+  :class:`Gauge`, and the 65-bucket log2 :class:`Histogram` (promoted
+  from ``repro.spans.histogram``, which now re-exports them).
+* :mod:`repro.metrics.registry` — the process-wide
+  :class:`MetricsRegistry` of labeled instrument families with atomic
+  snapshot/merge (worker processes ship deltas over their duplex
+  pipes) and Prometheus-text rendering; every layer of the
+  serving/executor path — daemon, :class:`~repro.exec.pool.WorkerPool`,
+  :func:`~repro.exec.run_many`, :class:`~repro.exec.cache.ResultCache`
+  — records into :func:`registry`.
+* :mod:`repro.metrics.oplog` — trace-ID-correlated structured JSONL
+  operational log; :func:`mint_trace_id` at client submission,
+  propagated client → protocol → scheduler → pool worker → execution.
+
+The daemon exposes the registry as ``GET /metrics`` (Prometheus text)
+and a liveness digest as ``GET /healthz``; ``python -m repro top``
+(:mod:`repro.metrics.top`) renders both live in the terminal, and
+:mod:`repro.analysis.oplog` joins operational logs back into per-trace
+lifecycles.
+
+Zero-cost when unused: the simulation fast path carries no metrics
+hooks at all (the ``metrics_off`` gate in ``scripts/bench_kernel.py
+--check`` pins this), the unconfigured oplog is a no-op sentinel, and
+instrumented serving results stay bit-identical to local execution.
+"""
+
+from repro.metrics.instruments import Counter, Gauge, Histogram
+from repro.metrics.oplog import (configure, disable, mint_trace_id,
+                                 oplog)
+from repro.metrics.registry import (MetricsRegistry, registry,
+                                    set_registry, snapshot_delta)
+
+
+def counter(name: str, help: str = "", **labels):
+    """The counter child for ``name`` (+ label values) in the
+    process-wide registry.  Resolves through :func:`registry` on every
+    call, so it always talks to the *current* registry — callers on a
+    hot-ish path should hold the returned child instead."""
+    fam = registry().counter(name, help, labels=tuple(sorted(labels)))
+    return fam.labels(**labels) if labels else fam
+
+
+def gauge(name: str, help: str = "", **labels):
+    """Like :func:`counter`, for gauges."""
+    fam = registry().gauge(name, help, labels=tuple(sorted(labels)))
+    return fam.labels(**labels) if labels else fam
+
+
+def histogram(name: str, help: str = "", **labels):
+    """Like :func:`counter`, for histograms."""
+    fam = registry().histogram(name, help, labels=tuple(sorted(labels)))
+    return fam.labels(**labels) if labels else fam
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "configure", "counter", "disable", "gauge", "histogram",
+           "mint_trace_id", "oplog", "registry", "set_registry",
+           "snapshot_delta"]

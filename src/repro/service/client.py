@@ -22,6 +22,7 @@ import socket
 import uuid
 from typing import Callable, Iterable, List, Optional
 
+from repro import metrics as _metrics
 from repro.exec.executor import RunOutcome
 from repro.exec.specs import RunSpec
 from repro.service import protocol
@@ -66,6 +67,9 @@ class ServiceClient:
         self.address = _parse_address(address or default_address())
         self.client_id = client_id or f"cli-{uuid.uuid4().hex[:8]}"
         self.timeout = timeout
+        #: trace IDs minted for the most recent :meth:`submit`, aligned
+        #: with its specs — join them against the daemon's oplog
+        self.last_traces: List[str] = []
 
     # -- plumbing ------------------------------------------------------------
 
@@ -146,8 +150,17 @@ class ServiceClient:
         :meth:`wait_for` with the same specs collects the results.
         """
         specs = list(specs)
+        # one fresh trace ID per spec: the correlation key that follows
+        # the submission through daemon, pool worker, and outcome
+        # (docs/observability.md)
+        traces = [_metrics.mint_trace_id() for _ in specs]
+        self.last_traces = list(traces)
+        for s, t in zip(specs, traces):
+            _metrics.oplog().emit("submit", trace_id=t, label=s.label,
+                                  client=self.client_id)
         req = {"op": "submit", "client": self.client_id,
                "specs": [protocol.spec_to_wire(s) for s in specs],
+               "traces": traces,
                "wait": wait, "stream": on_event is not None,
                "encoding": encoding}
 

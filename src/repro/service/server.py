@@ -37,6 +37,7 @@ import threading
 import time
 from typing import Dict, List, Optional
 
+from repro import metrics as _metrics
 from repro.exec import counters as exec_counters
 from repro.exec.cache import ResultCache
 from repro.exec.inflight import InFlightRegistry
@@ -58,13 +59,20 @@ class _Job:
 
     __slots__ = ("id", "key", "spec", "client", "state", "ok", "result",
                  "error", "source", "elapsed", "attempts", "done",
-                 "subscribers", "deadline", "created")
+                 "subscribers", "deadline", "created", "trace",
+                 "waiter_traces")
 
-    def __init__(self, job_id: int, key: str, spec, client: str):
+    def __init__(self, job_id: int, key: str, spec, client: str,
+                 trace: Optional[str] = None):
         self.id = job_id
         self.key = key
         self.spec = spec
         self.client = client
+        #: trace ID of the submission that created (won) this job; the
+        #: execution is logged under it
+        self.trace = trace or _metrics.mint_trace_id()
+        #: every trace that attached (winner first, then coalesced)
+        self.waiter_traces: List[str] = [self.trace]
         self.state = "queued"         # queued|running|done|failed
         self.ok: Optional[bool] = None
         self.result = None
@@ -79,7 +87,7 @@ class _Job:
 
     def event(self, kind: str) -> dict:
         ev = {"event": kind, "id": self.id, "label": self.spec.label,
-              "key": self.key, "state": self.state}
+              "key": self.key, "state": self.state, "trace": self.trace}
         if kind == "done":
             ev.update(ok=self.ok, source=self.source,
                       elapsed=self.elapsed, attempts=self.attempts,
@@ -126,6 +134,9 @@ class ServiceDaemon:
         self._servers: list = []
         self._prev_handlers: dict = {}
         self._started_at = time.monotonic()
+        #: summary of the last completed drain (``/healthz`` reports
+        #: ``None`` until a drain has run)
+        self.last_drain: Optional[dict] = None
         #: daemon-lifetime counters, surfaced by ``status``
         self.jobs_submitted = 0
         self.jobs_attached = 0        # dedup: joined an in-flight job
@@ -167,6 +178,9 @@ class ServiceDaemon:
                 daemon=True)
             self._exec_thread.start()
             self._ready.set()
+            _metrics.oplog().emit(
+                "daemon_started", socket=self.socket_path,
+                http_port=self.http_port, workers=self.pool.size)
             await self._stopped.wait()
         finally:
             self._ready.set()                 # never leave starters hung
@@ -212,6 +226,13 @@ class ServiceDaemon:
         job.error = "interrupted"
         job.source = "error"
         self.jobs_interrupted += 1
+        _metrics.counter("repro_jobs_interrupted_total",
+                         "Queued jobs salvaged as interrupted at "
+                         "drain").inc()
+        _metrics.oplog().emit("interrupted", level="warning",
+                              trace_id=job.trace, job=job.id,
+                              label=job.spec.label,
+                              waiters=job.waiter_traces)
         self.registry.release(job.key)
         self._finalize_on_loop(job)
 
@@ -221,6 +242,17 @@ class ServiceDaemon:
             # join off-loop so in-flight simulations can finish
             await self._loop.run_in_executor(
                 None, self._exec_thread.join)
+        self.last_drain = {
+            "at": round(time.time(), 3),
+            "uptime": round(time.monotonic() - self._started_at, 3),
+            "submitted": self.jobs_submitted,
+            "executed": self.jobs_executed,
+            "cache_hits": self.cache_hits,
+            "failed": self.jobs_failed,
+            "interrupted": self.jobs_interrupted,
+            "coalesced": self.registry.coalesced,
+        }
+        _metrics.oplog().emit("drain_summary", **self.last_drain)
         for server in self._servers:
             server.close()
             await server.wait_closed()
@@ -274,6 +306,9 @@ class ServiceDaemon:
         hit, source = self.cache.get(job.spec)
         if hit is not None:
             self.cache_hits += 1
+            _metrics.counter("repro_jobs_cache_served_total",
+                             "Jobs settled straight from the result "
+                             "cache, no worker involved").inc()
             self._complete(job, True, hit, source=source)
             return
         job.attempts += 1
@@ -282,7 +317,13 @@ class ServiceDaemon:
                         if self.timeout is not None else None)
         self.jobs_executed += 1
         exec_counters["executed"] += 1
-        self.pool.submit(job.id, job.spec)
+        _metrics.counter("repro_jobs_started_total",
+                         "Jobs dispatched to a pool worker (cache "
+                         "hits never start)").inc()
+        _metrics.oplog().emit("started", trace_id=job.trace, job=job.id,
+                              label=job.spec.label,
+                              attempt=job.attempts)
+        self.pool.submit(job.id, job.spec, trace_id=job.trace)
         self._busy[job.id] = job
         self._notify_on_loop(job, "started")
 
@@ -330,6 +371,13 @@ class ServiceDaemon:
         job.state = "done" if ok else "failed"
         if not ok:
             self.jobs_failed += 1
+        _metrics.counter("repro_jobs_done_total",
+                         "Jobs settled, by outcome",
+                         ok=str(ok).lower()).inc()
+        _metrics.oplog().emit(
+            "done", trace_id=job.trace, job=job.id,
+            label=job.spec.label, ok=ok, source=job.source,
+            elapsed=round(elapsed, 6), error=error)
         self.registry.release(job.key)
         self._finalize_on_loop(job)
 
@@ -360,11 +408,14 @@ class ServiceDaemon:
 
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
+        t0 = time.perf_counter()
+        transport = "socket"
         try:
             first = await reader.readline()
             if not first:
                 return
             if first[:4] in (b"GET ", b"POST", b"HEAD"):
+                transport = "http"
                 await self._handle_http(first, reader, writer)
                 return
             try:
@@ -377,6 +428,11 @@ class ServiceDaemon:
         except (ConnectionResetError, BrokenPipeError):
             pass                      # client went away mid-reply
         finally:
+            _metrics.histogram(
+                "repro_request_ns",
+                "Connection-open to reply-complete latency",
+                transport=transport).record(
+                int((time.perf_counter() - t0) * 1e9))
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -386,6 +442,9 @@ class ServiceDaemon:
     async def _dispatch(self, req: dict,
                         writer: asyncio.StreamWriter) -> None:
         op = req.get("op")
+        _metrics.counter("repro_requests_total",
+                         "Protocol requests by op",
+                         op=str(op)).inc()
         if op == "ping":
             resp = {"ok": True, "version": protocol.PROTOCOL_VERSION,
                     "pid": os.getpid(), "salt": self.cache.salt}
@@ -429,17 +488,30 @@ class ServiceDaemon:
         if not isinstance(raw_specs, list) or not raw_specs:
             raise protocol.ProtocolError("submit needs a spec list")
         specs = [protocol.spec_from_wire(w) for w in raw_specs]
+        # per-spec trace IDs ride *beside* the specs (never inside —
+        # cache keys are unperturbed); absent or misaligned, the daemon
+        # mints its own so every execution is still traceable
+        traces = req.get("traces")
+        if not isinstance(traces, list) or len(traces) != len(specs):
+            traces = [None] * len(specs)
+        traces = [str(t) if t else _metrics.mint_trace_id()
+                  for t in traces]
         stream = bool(req.get("stream"))
         wait = bool(req.get("wait", True)) or stream
+        _metrics.counter("repro_submissions_total",
+                         "Specs received over submit/wait requests",
+                         op="submit" if admit else "wait"
+                         ).inc(len(specs))
 
         jobs: List[_Job] = []         # aligned with the submitted specs
         sub_q: Optional[asyncio.Queue] = asyncio.Queue() if stream \
             else None
         now = self._loop.time()
-        for spec in specs:
+        for spec, trace in zip(specs, traces):
             key = self.cache.key_for(spec)
             job, created = self.registry.claim(
-                key, lambda: _Job(next(self._ids), key, spec, client))
+                key, lambda: _Job(next(self._ids), key, spec, client,
+                                  trace=trace))
             if created:
                 self.jobs_submitted += 1
                 if not admit:
@@ -462,14 +534,29 @@ class ServiceDaemon:
                 else:
                     at = self.admission.admit(client, now)
                     self.admission.observe(self.queue_depth())
+                    self._gate_gauges(client)
                     if at <= now:
                         self._enqueue(job)
                     else:
+                        _metrics.counter(
+                            "repro_admission_deferred_total",
+                            "Submissions delayed by the per-client "
+                            "gate").inc()
+                        _metrics.oplog().emit(
+                            "deferred", trace_id=job.trace, job=job.id,
+                            client=client, delay=round(at - now, 6))
                         handle = self._loop.call_later(
                             at - now, self._enqueue_deferred, job.id)
                         self._timers[job.id] = (handle, job)
             else:
                 self.jobs_attached += 1
+                job.waiter_traces.append(trace)
+                _metrics.counter("repro_jobs_coalesced_total",
+                                 "Submissions that attached to an "
+                                 "already-in-flight execution").inc()
+                _metrics.oplog().emit("coalesced", trace_id=trace,
+                                      exec_trace_id=job.trace,
+                                      job=job.id, client=client)
             if sub_q is not None and not job.done.is_set():
                 job.subscribers.append(sub_q)
             jobs.append(job)
@@ -491,8 +578,35 @@ class ServiceDaemon:
         await writer.drain()
 
     def _enqueue(self, job: _Job) -> None:
+        _metrics.counter("repro_jobs_queued_total",
+                         "Distinct jobs entered into the run "
+                         "queue").inc()
+        _metrics.oplog().emit("queued", trace_id=job.trace, job=job.id,
+                              label=job.spec.label, client=job.client)
         self._notify_on_loop(job, "queued")
         self._work_q.put(job)
+        _metrics.gauge("repro_queue_depth",
+                       "Backlog: queued + deferred + running"
+                       ).set(self.queue_depth())
+
+    def _gate_gauges(self, client: str) -> None:
+        """Refresh the admission-gate gauges after a recompute."""
+        snap = self.admission.snapshot()
+        _metrics.gauge("repro_gate_w_g_ms",
+                       "Shared per-burst lane close time (the "
+                       "service-level W_G)").set(
+            int(snap["w_g"] * 1000))
+        _metrics.gauge("repro_gate_n_g",
+                       "Burst allowance per client (the service-level "
+                       "N_G)").set(snap["n_g"])
+        g = snap["clients"].get(client)
+        if g is not None:
+            _metrics.counter("repro_gate_admitted_total",
+                             "Gate decisions per client",
+                             client=client).value = g["admitted"]
+            _metrics.counter("repro_gate_deferred_total",
+                             "Deferred gate decisions per client",
+                             client=client).value = g["deferred"]
 
     def _enqueue_deferred(self, job_id: int) -> None:
         entry = self._timers.pop(job_id, None)
@@ -527,6 +641,7 @@ class ServiceDaemon:
         return {"index": index, "label": job.spec.label, "ok": job.ok,
                 "source": job.source, "elapsed": job.elapsed,
                 "attempts": max(job.attempts, 1), "error": job.error,
+                "trace": job.trace,
                 "result": protocol.encode_result(job.result, encoding)}
 
     # -- introspection -------------------------------------------------------
@@ -562,13 +677,47 @@ class ServiceDaemon:
                       "files": files, "bytes": size},
         }
 
+    def healthz(self) -> dict:
+        """The ``/healthz`` liveness digest: cheap, no disk walk."""
+        alive = self.pool.alive_count()
+        return {
+            "ok": alive == self.pool.size and not self._draining,
+            "pid": os.getpid(),
+            "uptime": round(time.monotonic() - self._started_at, 3),
+            "draining": self._draining,
+            "pool": {"size": self.pool.size, "alive": alive,
+                     "busy": len(self._busy),
+                     "recycled": self.pool.recycled},
+            "queue_depth": self.queue_depth(),
+            "last_drain": self.last_drain,
+        }
+
+    def _scrape_gauges(self) -> None:
+        """Refresh point-in-time gauges just before rendering
+        ``/metrics``, so a scrape never reads stale liveness."""
+        _metrics.gauge("repro_uptime_seconds",
+                       "Seconds since the daemon started").set(
+            int(time.monotonic() - self._started_at))
+        _metrics.gauge("repro_queue_depth",
+                       "Backlog: queued + deferred + running"
+                       ).set(self.queue_depth())
+        _metrics.gauge("repro_pool_alive_workers",
+                       "Pool workers whose process is alive").set(
+            self.pool.alive_count())
+        _metrics.gauge("repro_draining",
+                       "1 while the daemon is draining").set(
+            1 if self._draining else 0)
+
     # -- the HTTP adapter ----------------------------------------------------
 
     async def _handle_http(self, first: bytes,
                            reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
-        """Minimal local HTTP/1.1: GET /ping|/status|/cache/stats,
-        POST /submit (synchronous JSON in, JSON out; no streaming)."""
+        """Minimal local HTTP/1.1: GET /ping|/status|/cache/stats|
+        /metrics|/healthz, POST /submit (synchronous JSON in, JSON out;
+        no streaming).  The same routes answer on the Unix socket —
+        the daemon sniffs HTTP by the request line — so ``repro top``
+        needs no TCP listener."""
         try:
             method, path, _version = first.decode("latin-1").split()[:3]
         except ValueError:
@@ -587,7 +736,17 @@ class ServiceDaemon:
         body = await reader.readexactly(length) if length else b""
 
         status = "200 OK"
-        if method == "GET" and path == "/ping":
+        if method == "GET" and path == "/metrics":
+            self._scrape_gauges()
+            _write_http(writer, status,
+                        _metrics.registry().render().encode("utf-8"),
+                        content_type="text/plain; version=0.0.4; "
+                                     "charset=utf-8")
+            await writer.drain()
+            return
+        if method == "GET" and path == "/healthz":
+            resp = self.healthz()
+        elif method == "GET" and path == "/ping":
             resp = {"ok": True, "version": protocol.PROTOCOL_VERSION,
                     "pid": os.getpid()}
         elif method == "GET" and path == "/status":
@@ -614,10 +773,10 @@ class ServiceDaemon:
         await writer.drain()
 
 
-def _write_http(writer: asyncio.StreamWriter, status: str,
-                body: bytes) -> None:
+def _write_http(writer: asyncio.StreamWriter, status: str, body: bytes,
+                content_type: str = "application/json") -> None:
     writer.write((f"HTTP/1.1 {status}\r\n"
-                  "Content-Type: application/json\r\n"
+                  f"Content-Type: {content_type}\r\n"
                   f"Content-Length: {len(body)}\r\n"
                   "Connection: close\r\n\r\n").encode("latin-1") + body)
 

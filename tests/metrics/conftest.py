@@ -1,0 +1,24 @@
+"""Shared fixtures: isolate the process-global metrics state per test."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry, set_registry
+from repro.metrics.oplog import disable as disable_oplog
+
+
+@pytest.fixture
+def fresh_registry():
+    """A fresh process-global registry, restored afterwards."""
+    reg = MetricsRegistry()
+    old = set_registry(reg)
+    yield reg
+    set_registry(old)
+
+
+@pytest.fixture
+def no_oplog():
+    """Ensure the global oplog is the disabled sentinel, before and
+    after."""
+    disable_oplog()
+    yield
+    disable_oplog()

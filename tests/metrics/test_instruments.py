@@ -1,0 +1,104 @@
+"""The metric primitives: counters, gauges, histograms, and their
+snapshot (to_dict/from_dict) and merge semantics."""
+
+import pytest
+
+from repro.metrics.instruments import N_BUCKETS, Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_roundtrip_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc(3)
+        b.inc(7)
+        a.merge(Counter.from_dict(b.to_dict()))
+        assert a.value == 10
+
+    def test_equality(self):
+        a, b = Counter(), Counter()
+        a.inc(2)
+        assert a != b
+        b.inc(2)
+        assert a == b
+
+
+class TestHistogram:
+    def test_log2_bucketing(self):
+        h = Histogram()
+        for v in (0, 1, 2, 3, 4, 1023, 1024):
+            h.record(v)
+        assert h.n == 7
+        assert h.min == 0 and h.max == 1024
+        assert sum(h.counts) == 7
+
+    def test_roundtrip_preserves_everything(self):
+        h = Histogram()
+        for v in (5, 50, 500, 5000):
+            h.record(v)
+        h2 = Histogram.from_dict(h.to_dict())
+        assert h2.counts == h.counts
+        assert (h2.n, h2.total, h2.min, h2.max) == \
+               (h.n, h.total, h.min, h.max)
+
+    def test_to_dict_is_sparse(self):
+        h = Histogram()
+        h.record(7)
+        d = h.to_dict()
+        assert len(d["counts"]) == 1     # one non-empty bucket only
+        assert all(isinstance(k, str) for k in d["counts"])
+
+    def test_merge_adds_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.record(10)
+        b.record(10)
+        b.record(100000)
+        a.merge(b)
+        assert a.n == 3
+        assert a.max == 100000
+
+    def test_empty_roundtrip(self):
+        h = Histogram.from_dict(Histogram().to_dict())
+        assert h.n == 0 and sum(h.counts) == 0
+
+    def test_bucket_count_is_pinned(self):
+        assert N_BUCKETS == 65
+        assert len(Histogram().counts) == N_BUCKETS
+
+
+class TestGauge:
+    def test_set_is_record(self):
+        g = Gauge()
+        g.set(5)
+        g.set(9)
+        assert g.last == 9
+        assert g.hist.n == 2
+
+    def test_roundtrip(self):
+        g = Gauge()
+        g.record(3)
+        g.record(11)
+        g2 = Gauge.from_dict(g.to_dict())
+        assert g2.last == 11
+        assert g2.hist.n == 2
+
+    def test_merge_follows_other_last(self):
+        a, b = Gauge(), Gauge()
+        a.set(1)
+        b.set(42)
+        a.merge(b)
+        assert a.last == 42
+        assert a.hist.n == 2
+
+    def test_merge_empty_keeps_last(self):
+        a, b = Gauge(), Gauge()
+        a.set(7)
+        a.merge(b)                      # b never recorded
+        assert a.last == 7
+        assert a.hist.n == 1

@@ -1,0 +1,158 @@
+"""The structured operational log and its per-trace analysis view."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.ingest import MalformedLineWarning
+from repro.analysis.oplog import OpLogView
+from repro.metrics.oplog import (OpLog, configure, disable,
+                                 mint_trace_id, oplog)
+
+
+class TestMint:
+    def test_shape_and_uniqueness(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 for t in ids)
+        assert all(int(t, 16) >= 0 for t in ids)
+
+
+class TestOpLog:
+    def test_emits_one_json_line(self):
+        buf = io.StringIO()
+        log = OpLog(stream=buf)
+        log.emit("started", trace_id="abc", label="M1")
+        rec = json.loads(buf.getvalue())
+        assert rec["event"] == "started"
+        assert rec["trace_id"] == "abc"
+        assert rec["label"] == "M1"
+        assert rec["level"] == "info"
+        assert isinstance(rec["ts"], float)
+        assert isinstance(rec["pid"], int)
+        assert log.emitted == 1
+
+    def test_level_threshold(self):
+        buf = io.StringIO()
+        log = OpLog(stream=buf, level="warning")
+        log.emit("quiet", level="debug")
+        log.emit("quiet", level="info")
+        log.emit("loud", level="warning")
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "loud"
+
+    def test_bad_level_refused(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            OpLog(stream=io.StringIO(), level="loudest")
+
+    def test_path_sink_appends(self, tmp_path):
+        p = tmp_path / "ops.jsonl"
+        log = OpLog(path=str(p))
+        log.emit("a")
+        log.close()
+        log2 = OpLog(path=str(p))
+        log2.emit("b")
+        log2.close()
+        events = [json.loads(ln)["event"]
+                  for ln in p.read_text().splitlines()]
+        assert events == ["a", "b"]
+
+    def test_closed_log_drops(self):
+        buf = io.StringIO()
+        log = OpLog(stream=buf)
+        log.close()
+        log.emit("late")
+        assert buf.getvalue() == ""
+
+
+class TestGlobal:
+    def test_disabled_sentinel_is_noop(self, no_oplog):
+        log = oplog()
+        assert not log.enabled
+        log.emit("anything", trace_id="t")   # must not raise
+        assert log.emitted == 0
+
+    def test_configure_then_disable(self, no_oplog, tmp_path):
+        p = tmp_path / "ops.jsonl"
+        log = configure(path=str(p), level="debug")
+        assert oplog() is log
+        oplog().emit("hello", level="debug")
+        disable()
+        assert not oplog().enabled
+        assert json.loads(p.read_text())["event"] == "hello"
+
+
+def _write_oplog(path, records):
+    with open(path, "w", encoding="utf-8") as fh:
+        for r in records:
+            fh.write(json.dumps(r) + "\n")
+
+
+class TestOpLogView:
+    def _sample(self, path):
+        # trace "aaa" executes; trace "bbb" coalesces onto it.
+        _write_oplog(path, [
+            {"ts": 1.0, "event": "submit", "trace_id": "aaa",
+             "label": "M1", "client": "c1"},
+            {"ts": 1.1, "event": "queued", "trace_id": "aaa"},
+            {"ts": 1.2, "event": "submit", "trace_id": "bbb",
+             "label": "M1", "client": "c2"},
+            {"ts": 1.3, "event": "coalesced", "trace_id": "bbb",
+             "exec_trace_id": "aaa"},
+            {"ts": 1.4, "event": "started", "trace_id": "aaa"},
+            {"ts": 2.0, "event": "done", "trace_id": "aaa",
+             "ok": True, "source": "executed", "elapsed": 0.6},
+        ])
+        return OpLogView.load(str(path))
+
+    def test_trace_ids_in_order(self, tmp_path):
+        view = self._sample(tmp_path / "ops.jsonl")
+        assert view.trace_ids() == ["aaa", "bbb"]
+        assert view.skipped == 0
+
+    def test_waiter_follows_winner(self, tmp_path):
+        view = self._sample(tmp_path / "ops.jsonl")
+        events = [r["event"] for r in view.trace("bbb")]
+        assert events == ["submit", "queued", "submit", "coalesced",
+                          "started", "done"]
+        assert [r["event"] for r in view.trace("bbb", follow=False)] \
+            == ["submit", "coalesced"]
+
+    def test_lifecycle(self, tmp_path):
+        view = self._sample(tmp_path / "ops.jsonl")
+        winner = view.lifecycle("aaa")
+        assert winner["ok"] is True
+        assert winner["source"] == "executed"
+        assert winner["coalesced_onto"] is None
+        waiter = view.lifecycle("bbb")
+        assert waiter["coalesced_onto"] == "aaa"
+        assert waiter["ok"] is True          # settled via the winner
+        assert waiter["client"] == "c2"
+
+    def test_join_by_label(self, tmp_path):
+        view = self._sample(tmp_path / "ops.jsonl")
+        spans = [{"label": "M1", "t": "span"},
+                 {"label": "other", "t": "span"}]
+        joined = view.join(spans)
+        assert set(joined) == {"aaa", "bbb"}
+        assert all(len(v) == 1 for v in joined.values())
+        only = view.join(spans, trace_id="aaa")
+        assert set(only) == {"aaa"}
+
+    def test_format_renders_flow(self, tmp_path):
+        view = self._sample(tmp_path / "ops.jsonl")
+        text = view.format()
+        assert "ok/executed" in text
+        assert "[rode aaa]" in text
+        assert text.splitlines()[0].startswith("trace")
+
+    def test_malformed_lines_counted(self, tmp_path):
+        p = tmp_path / "ops.jsonl"
+        p.write_text('{"ts": 1.0, "event": "submit", "trace_id": "x"}\n'
+                     "not json\n")
+        with pytest.warns(MalformedLineWarning):
+            view = OpLogView.load(str(p))
+        assert view.skipped == 1
+        assert "malformed" in view.format()

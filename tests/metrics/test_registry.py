@@ -1,0 +1,162 @@
+"""The registry: families, labels, snapshot/delta/merge, rendering."""
+
+import json
+
+import pytest
+
+from repro import metrics
+from repro.metrics import MetricsRegistry, snapshot_delta
+from repro.metrics.registry import _child_key
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestFamilies:
+    def test_get_or_create_is_idempotent(self, reg):
+        a = reg.counter("repro_x_total", "help text")
+        b = reg.counter("repro_x_total")
+        assert a is b
+
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_label_conflict_raises(self, reg):
+        reg.counter("repro_x_total", labels=("layer",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("repro_x_total", labels=("other",))
+
+    def test_bad_names_refused(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok_name", labels=("bad-label",))
+
+    def test_labeled_children_are_distinct(self, reg):
+        fam = reg.counter("repro_hits_total", labels=("layer",))
+        fam.labels(layer="memory").inc(2)
+        fam.labels(layer="disk").inc(1)
+        assert fam.labels(layer="memory").value == 2
+        assert fam.labels(layer="disk").value == 1
+
+    def test_wrong_labels_refused(self, reg):
+        fam = reg.counter("repro_hits_total", labels=("layer",))
+        with pytest.raises(ValueError, match="takes labels"):
+            fam.labels(wrong="x")
+
+    def test_anonymous_child_forwarding(self, reg):
+        fam = reg.counter("repro_plain_total")
+        fam.inc(3)
+        assert fam.value == 3
+        g = reg.gauge("repro_depth")
+        g.set(7)
+        assert g.labels().last == 7
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_jsonable(self, reg):
+        reg.counter("repro_a_total").inc(2)
+        reg.histogram("repro_h_ns").record(1000)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_recreates_unknown_families(self, reg):
+        reg.counter("repro_a_total", "h", labels=("k",)) \
+           .labels(k="x").inc(5)
+        reg.gauge("repro_g").set(3)
+        reg.histogram("repro_h_ns").record(64)
+        other = MetricsRegistry()
+        other.merge(reg.snapshot())
+        assert other.render() == reg.render()
+
+    def test_merge_adds_counters(self, reg):
+        reg.counter("repro_a_total").inc(5)
+        reg.merge(reg.snapshot())
+        assert reg.counter("repro_a_total").value == 10
+
+    def test_delta_exact(self, reg):
+        c = reg.counter("repro_a_total")
+        h = reg.histogram("repro_h_ns")
+        c.inc(2)
+        h.record(10)
+        before = reg.snapshot()
+        c.inc(3)
+        h.record(99)
+        delta = snapshot_delta(reg.snapshot(), before)
+        assert delta["repro_a_total"]["children"][
+            _child_key(())]["value"] == 3
+        assert delta["repro_h_ns"]["children"][_child_key(())]["n"] == 1
+
+    def test_empty_delta_is_empty(self, reg):
+        reg.counter("repro_a_total").inc()
+        snap = reg.snapshot()
+        assert snapshot_delta(snap, snap) == {}
+
+    def test_prev_plus_delta_equals_current(self, reg):
+        """The pool's shipping invariant: merge(prev)+merge(delta)
+        reconstructs the current registry exactly."""
+        c = reg.counter("repro_a_total", labels=("k",))
+        g = reg.gauge("repro_depth")
+        c.labels(k="x").inc(4)
+        g.set(2)
+        prev = reg.snapshot()
+        c.labels(k="x").inc(1)
+        c.labels(k="y").inc(7)
+        g.set(9)
+        delta = snapshot_delta(reg.snapshot(), prev)
+        rebuilt = MetricsRegistry()
+        rebuilt.merge(prev)
+        rebuilt.merge(delta)
+        assert rebuilt.render() == reg.render()
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self, reg):
+        reg.counter("repro_a_total", "things counted",
+                    labels=("layer",)).labels(layer="x").inc(2)
+        reg.gauge("repro_depth", "queue depth").set(4)
+        text = reg.render()
+        assert "# HELP repro_a_total things counted" in text
+        assert "# TYPE repro_a_total counter" in text
+        assert 'repro_a_total{layer="x"} 2' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 4" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self, reg):
+        h = reg.histogram("repro_h_ns")
+        h.record(3)                     # bucket 2, upper edge 3
+        h.record(3)
+        h.record(1000)                  # bucket 10, upper edge 1023
+        text = reg.render()
+        assert 'repro_h_ns_bucket{le="3"} 2' in text
+        assert 'repro_h_ns_bucket{le="1023"} 3' in text
+        assert 'repro_h_ns_bucket{le="+Inf"} 3' in text
+        assert "repro_h_ns_sum 1006" in text
+        assert "repro_h_ns_count 3" in text
+
+    def test_label_escaping(self, reg):
+        reg.counter("repro_a_total", labels=("k",)) \
+           .labels(k='we"ird\nvalue').inc()
+        text = reg.render()
+        assert 'k="we\\"ird\\nvalue"' in text
+
+    def test_empty_registry_renders_empty(self, reg):
+        assert reg.render() == ""
+
+
+class TestGlobalAccessors:
+    def test_convenience_helpers_hit_current_registry(self, fresh_registry):
+        metrics.counter("repro_conv_total", "h").inc()
+        metrics.counter("repro_conv_labeled_total", labeled="yes").inc(2)
+        metrics.gauge("repro_conv_depth").set(3)
+        metrics.histogram("repro_conv_ns").record(5)
+        text = fresh_registry.render()
+        assert "repro_conv_total 1" in text
+        assert 'repro_conv_labeled_total{labeled="yes"} 2' in text
+        assert "repro_conv_depth 3" in text
+        assert "repro_conv_ns_count 1" in text

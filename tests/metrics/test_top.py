@@ -1,0 +1,110 @@
+"""The top view's Prometheus parser, quantile recovery, and frame
+renderer — exercised against real ``MetricsRegistry.render()`` output,
+so the parser and the renderer can never drift apart."""
+
+import io
+
+from repro.metrics import MetricsRegistry
+from repro.metrics.top import (_parse_address, hist_quantile,
+                               parse_prometheus, render_frame, run_top,
+                               sample_value)
+
+
+def _families():
+    reg = MetricsRegistry()
+    reg.counter("repro_jobs_queued_total", "jobs enqueued").inc(5)
+    done = reg.counter("repro_jobs_done_total", labels=("ok",))
+    done.labels(ok="true").inc(4)
+    done.labels(ok="false").inc(1)
+    hits = reg.counter("repro_cache_hits_total", labels=("layer",))
+    hits.labels(layer="memory").inc(2)
+    hits.labels(layer="disk").inc(1)
+    h = reg.histogram("repro_request_ns", labels=("transport",))
+    child = h.labels(transport="socket")
+    for v in (100, 100, 100, 100_000):
+        child.record(v)
+    return parse_prometheus(reg.render())
+
+
+class TestParse:
+    def test_roundtrip_against_render(self):
+        fam = _families()
+        assert fam["repro_jobs_queued_total"]["type"] == "counter"
+        assert fam["repro_jobs_queued_total"]["help"] == "jobs enqueued"
+        assert fam["repro_request_ns"]["type"] == "histogram"
+        # bucket/sum/count series fold under the base family
+        names = {s[0] for s in fam["repro_request_ns"]["samples"]}
+        assert "repro_request_ns_bucket" in names
+        assert "repro_request_ns_sum" in names
+        assert "repro_request_ns_count" in names
+        assert "repro_request_ns" in fam
+        assert "repro_request_ns_bucket" not in fam
+
+    def test_sample_value_sums_and_filters(self):
+        fam = _families()
+        assert sample_value(fam, "repro_jobs_queued_total") == 5
+        assert sample_value(fam, "repro_jobs_done_total") == 5
+        assert sample_value(fam, "repro_jobs_done_total", ok="true") == 4
+        assert sample_value(fam, "repro_cache_hits_total",
+                            layer="disk") == 1
+        assert sample_value(fam, "repro_missing_total", default=-1) == -1
+        # histogram series never leak into the plain sum
+        assert sample_value(fam, "repro_request_ns", default=-1) == -1
+
+    def test_hist_quantile_from_buckets(self):
+        fam = _families()
+        # 3 of 4 samples land in the le=127 bucket (value 100)
+        p50 = hist_quantile(fam, "repro_request_ns", 0.5,
+                            transport="socket")
+        assert p50 == 127
+        p99 = hist_quantile(fam, "repro_request_ns", 0.99,
+                            transport="socket")
+        assert p99 == 131071            # upper edge of 100_000's bucket
+        assert hist_quantile(fam, "repro_request_ns", 0.5,
+                             transport="tcp") is None
+        assert hist_quantile(fam, "repro_nope_ns", 0.5) is None
+
+
+class TestAddress:
+    def test_host_port_is_tcp(self):
+        assert _parse_address("127.0.0.1:9000") == ("127.0.0.1", 9000)
+        assert _parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_everything_else_is_a_path(self):
+        assert _parse_address("/tmp/repro.sock") == "/tmp/repro.sock"
+        assert _parse_address("host:notaport") == "host:notaport"
+
+
+class TestRenderFrame:
+    def test_frame_lines(self):
+        health = {"ok": True, "pid": 42, "uptime": 12.0,
+                  "draining": False, "queue_depth": 1,
+                  "pool": {"size": 2, "alive": 2, "busy": 1,
+                           "recycled": 0}}
+        frame = render_frame(_families(), health)
+        assert "[ok]" in frame
+        assert "pid 42" in frame
+        assert "2/2 alive" in frame
+        assert "5 queued" in frame
+        assert "4 done  1 failed" in frame
+        assert "2 mem + 1 disk hits" in frame
+        assert "p50 127ns" in frame
+
+    def test_degraded_and_draining(self):
+        assert "[DEGRADED]" in render_frame({}, {"ok": False})
+        assert "[DRAINING]" in render_frame(
+            {}, {"ok": False, "draining": True})
+
+    def test_drain_line(self):
+        frame = render_frame({}, {"ok": True,
+                                  "last_drain": {"submitted": 3}})
+        assert 'drain  last: {"submitted": 3}' in frame
+
+
+class TestRunTop:
+    def test_once_against_dead_socket(self, tmp_path):
+        out = io.StringIO()
+        rc = run_top(address=str(tmp_path / "nope.sock"), once=True,
+                     out=out)
+        assert rc == 1
+        assert "no daemon" in out.getvalue()

@@ -101,7 +101,8 @@ def cmd_run(args) -> int:
         out = remote_run_many([mix_spec(args.mix, args.policy,
                                         args.scale, args.seed,
                                         predictor=args.predictor)],
-                              address=address)[0]
+                              address=address,
+                              fallback=args.remote_fallback)[0]
         if not out.ok:
             print(f"remote run failed: {out.error}", file=sys.stderr)
             return 1
@@ -224,7 +225,8 @@ def cmd_compare(args) -> int:
     if address is not None:
         from repro.service import remote_run_many
         outcomes = remote_run_many(specs, address=address,
-                                   progress=_progress)
+                                   progress=_progress,
+                                   fallback=args.remote_fallback)
     else:
         outcomes = run_many(specs, progress=_progress)
     base_ws = None
@@ -261,7 +263,8 @@ def cmd_compare_predictors(args) -> int:
 
         def executor(specs):
             return remote_run_many(specs, address=address,
-                                   progress=_progress)
+                                   progress=_progress,
+                                   fallback=args.remote_fallback)
     cmp = compare_predictors(mixes=mixes, predictors=predictors,
                              scale=args.scale, seed=args.seed,
                              policy=args.policy, progress=_progress,
@@ -383,7 +386,11 @@ def cmd_serve(args) -> int:
         retries=args.retries,
         admission=AdmissionController(
             n_g=args.admit_burst, w_g_step=args.admit_step,
-            w_g_max=args.admit_max, target_depth=args.admit_depth))
+            w_g_max=args.admit_max, target_depth=args.admit_depth),
+        journal_sync=args.journal_sync,
+        max_queue=args.max_queue,
+        max_frame=args.max_frame,
+        write_timeout=args.write_timeout)
     print(f"repro service: socket {os.path.abspath(args.socket)}"
           + (f", http http://127.0.0.1:{args.http_port}"
              if args.http_port else "")
@@ -408,9 +415,12 @@ def cmd_top(args) -> int:
 
 def cmd_faults(args) -> int:
     """Run the fault-injection campaign (see docs/robustness.md)."""
-    from repro.faults import run_campaign, scenario_names
+    from repro.faults import (run_campaign, run_service_campaign,
+                              scenario_names, service_scenario_names)
     if args.list_scenarios:
-        for name in scenario_names():
+        names = service_scenario_names() if args.service \
+            else scenario_names()
+        for name in names:
             print(name)
         return 0
     only = args.only.split(",") if args.only else None
@@ -420,9 +430,13 @@ def cmd_faults(args) -> int:
         print(f"  {outcome.name}: {outcome.classification}",
               file=sys.stderr)
 
-    report = run_campaign(scale=args.scale, seed=args.seed,
-                          mix_name=args.mix, policy=args.policy,
-                          only=only, progress=progress)
+    if args.service:
+        report = run_service_campaign(scale=args.scale, seed=args.seed,
+                                      only=only, progress=progress)
+    else:
+        report = run_campaign(scale=args.scale, seed=args.seed,
+                              mix_name=args.mix, policy=args.policy,
+                              only=only, progress=progress)
     print(report.format())
     print(f"wall time: {time.time()-t0:.1f}s")
     return 0 if report.ok else 1
@@ -438,7 +452,8 @@ def cmd_sweep(args) -> int:
         from repro.service import remote_run_many
 
         def executor(specs):
-            return remote_run_many(specs, address=address, strict=True)
+            return remote_run_many(specs, address=address, strict=True,
+                                   fallback=args.remote_fallback)
     rows = sweep(args.mix, policy="throtcpuprio", scale=args.scale,
                  seed=args.seed, variations=vary_qos(target_fps=targets),
                  executor=executor)
@@ -588,6 +603,25 @@ def main(argv=None) -> int:
     p.add_argument("--log-level", default="info",
                    choices=["debug", "info", "warning", "error"],
                    help="oplog severity threshold (default info)")
+    p.add_argument("--journal-sync", default="batch",
+                   choices=["always", "batch", "off", "disabled"],
+                   help="crash-safe job journal fsync policy: always "
+                        "(fsync per record), batch (fsync every 32), "
+                        "off (OS flush only), disabled (no journal; "
+                        "default batch; see docs/service.md)")
+    p.add_argument("--max-queue", type=int, default=256, metavar="N",
+                   help="pending-job bound: submissions past this "
+                        "depth get a structured 'overloaded' refusal "
+                        "with a retry-after hint (default 256)")
+    p.add_argument("--max-frame", type=int, default=8 * 1024 * 1024,
+                   metavar="BYTES",
+                   help="largest accepted request line; longer frames "
+                        "get a 'protocol_error' refusal and the "
+                        "connection is closed (default 8 MiB)")
+    p.add_argument("--write-timeout", type=float, default=30.0,
+                   metavar="S",
+                   help="drop clients that stall reads longer than "
+                        "this while the daemon writes (default 30)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("top",
@@ -613,6 +647,11 @@ def main(argv=None) -> int:
                    help="run only these scenarios")
     p.add_argument("--list-scenarios", action="store_true",
                    help="print scenario names and exit")
+    p.add_argument("--service", action="store_true",
+                   help="run the serving-layer chaos campaign instead "
+                        "(daemon SIGKILL + journal recovery, torn/"
+                        "corrupt journals, protocol abuse, slowloris, "
+                        "pool massacre; see docs/robustness.md)")
     p.set_defaults(fn=cmd_faults)
 
     for sp in sub.choices.values():
@@ -627,8 +666,16 @@ def main(argv=None) -> int:
             "--remote", nargs="?", const="", default=None,
             metavar="ADDR",
             help="route runs through a running `repro serve` daemon "
-                 "(socket path or host:port; bare --remote takes "
-                 "$REPRO_SERVICE or .repro_service.sock)")
+                 "(socket path or host:port; comma-separated list = "
+                 "failover order; bare --remote takes $REPRO_SERVICE "
+                 "or .repro_service.sock)")
+        sub.choices[name].add_argument(
+            "--remote-fallback", default=None,
+            choices=["local", "error"],
+            help="when every daemon in the --remote list is "
+                 "unreachable: run locally (local, the default) or "
+                 "fail the command (error); also "
+                 "$REPRO_REMOTE_FALLBACK")
 
     # the campaign defaults to test scale: smoke runs are short enough
     # that some scenarios (FRPU misprediction) may never engage

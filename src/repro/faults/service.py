@@ -1,0 +1,571 @@
+"""Service-layer chaos campaign: ``python -m repro faults --service``.
+
+The executor campaign (:mod:`repro.faults.campaign`) proves the
+simulator and worker guardrails; this module climbs one layer and
+attacks the *serving* stack — daemon, journal, protocol, pool — with
+the same classification contract:
+
+* ``detected``  — the failure produced a loud, structured signal (a
+  ``protocol_error`` refusal, a :class:`JournalIntegrityWarning`
+  surfaced in recovery counters, a torn tail truncated and counted);
+* ``tolerated`` — service continued or recovered with the degradation
+  recorded (orphans re-enqueued after SIGKILL, workers respawned after
+  a massacre, a sibling client unaffected by a slowloris);
+* ``silent``    — work was lost, results diverged from local
+  execution, or the daemon wedged without a trace.  Any silent
+  scenario fails the campaign (and CI).
+
+Scenario roster::
+
+    daemon-sigkill          SIGKILL a real serve subprocess mid-batch,
+                            restart on the same store, prove zero lost
+                            jobs + bit-identical results + recovery
+                            counters in /metrics
+    journal-torn-tail       crash signature: partial trailing record
+    journal-corrupt-record  bit-rot mid-journal, quarantined + replayed
+    conn-reset-mid-frame    RST half-way through a request frame
+    slowloris-client        stalled connections while others work
+    malformed-frame         garbage line -> structured protocol_error
+    oversized-frame         frame past --max-frame -> refusal + close
+    pool-massacre           SIGKILL every pool worker mid-job
+
+A clean control (daemon round-trip, bit-identical to local
+``run_many``) runs first; if *that* fails the campaign raises instead
+of classifying anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import warnings
+from dataclasses import asdict
+from typing import Callable, List, Optional
+
+from repro.faults.campaign import (DETECTED, SILENT, TOLERATED,
+                                   CampaignReport, ScenarioOutcome)
+
+__all__ = ["run_service_campaign", "service_scenario_names"]
+
+#: worker-pool salt for every campaign store — isolated from user caches
+_SALT = "svc-chaos"
+
+
+# -- plumbing -----------------------------------------------------------------
+
+def _specs(scale: str, seed: int, benches=(403, 429, 433)) -> List:
+    from repro.exec import standalone_cpu_spec
+    return [standalone_cpu_spec(b, scale=scale, seed=seed)
+            for b in benches]
+
+
+def _local_outcomes(specs, workdir: str):
+    """Reference results from plain in-process ``run_many``."""
+    from repro.exec import ResultCache, run_many
+    cache = ResultCache(root=os.path.join(workdir, "local-store"),
+                        salt=_SALT)
+    return run_many(specs, cache=cache)
+
+
+def _bit_identical(a, b) -> bool:
+    if a is None or b is None:
+        return a is b
+    return asdict(a) == asdict(b)
+
+
+def _poll(fn: Callable[[], bool], timeout: float = 90.0,
+          every: float = 0.05, what: str = "condition") -> None:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if fn():
+            return
+        time.sleep(every)
+    raise TimeoutError(f"timed out waiting for {what}")
+
+
+def _daemon_thread(ctx, store: str, **kwargs):
+    """An in-process daemon on its own store under the campaign dir."""
+    from repro.exec import ResultCache
+    from repro.service import start_daemon_thread
+    os.makedirs(store, exist_ok=True)
+    sock = os.path.join(store, "svc.sock")
+    cache = ResultCache(root=os.path.join(store, "store"), salt=_SALT)
+    kwargs.setdefault("workers", 1)
+    return start_daemon_thread(socket_path=sock, cache=cache, **kwargs)
+
+
+def _raw_conn(sock_path: str, timeout: float = 10.0) -> socket.socket:
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.settimeout(timeout)
+    s.connect(sock_path)
+    return s
+
+
+def _metric_value(sock_path: str, name: str) -> float:
+    """One counter's summed value scraped over GET /metrics."""
+    from repro.metrics.top import fetch, parse_prometheus, sample_value
+    _, body = fetch(sock_path, "/metrics")
+    return sample_value(parse_prometheus(body.decode("utf-8")), name,
+                        default=0.0)
+
+
+# -- the real-subprocess scenario ---------------------------------------------
+
+def _serve_cmd(sock: str, journal_sync: str = "always",
+               workers: int = 1) -> List[str]:
+    return [sys.executable, "-m", "repro", "serve",
+            "--socket", sock, "--workers", str(workers),
+            "--journal-sync", journal_sync]
+
+
+def _serve_env(store: str) -> dict:
+    import repro
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    env["REPRO_CACHE_DIR"] = store
+    return env
+
+
+def _scn_daemon_sigkill(ctx) -> ScenarioOutcome:
+    """The tentpole invariant: SIGKILL with jobs queued + running, then
+    a restart on the same store recovers every submitted spec with
+    results bit-identical to local execution."""
+    from repro.service import ServiceClient, service_available
+
+    name = "daemon-sigkill"
+    injected = "SIGKILL `repro serve` mid-batch, restart on same store"
+    workdir = os.path.join(ctx["workdir"], name)
+    store = os.path.join(workdir, "store")
+    os.makedirs(store, exist_ok=True)
+    sock = os.path.join(workdir, "svc.sock")
+    # fresh seeds: nothing cached, every job must really execute
+    specs = _specs(ctx["scale"], ctx["seed"] + 101)
+    env = _serve_env(store)
+    log = open(os.path.join(workdir, "daemon.log"), "wb")
+
+    proc = subprocess.Popen(_serve_cmd(sock), env=env, stdout=log,
+                            stderr=subprocess.STDOUT)
+    try:
+        _poll(lambda: service_available(sock), what="first daemon up")
+        client = ServiceClient(sock, client_id="chaos", retries=0)
+        client.submit(specs, wait=False)       # queue the whole batch
+        # wait until at least one job is on a worker, so the kill lands
+        # with work both running *and* queued
+        _poll(lambda: client.status()["jobs"]["executed"] >= 1,
+              what="first job started")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:                # pragma: no cover
+            proc.kill()
+            proc.wait(timeout=30)
+
+    # restart against the same store; the journal replay must re-own
+    # every orphan
+    proc = subprocess.Popen(_serve_cmd(sock), env=env, stdout=log,
+                            stderr=subprocess.STDOUT)
+    try:
+        _poll(lambda: service_available(sock), what="second daemon up")
+        client = ServiceClient(sock, client_id="chaos2")
+        _poll(lambda: client.status()["queue_depth"] == 0,
+              what="recovery to drain the queue")
+        status = client.status()
+        recovered = status["jobs"]["recovered"]
+        counter = _metric_value(sock,
+                                "repro_journal_recovered_jobs_total")
+        outs = client.wait_for(specs)
+        local = {o.spec.label: o for o in
+                 _local_outcomes(specs, workdir)}
+        lost = [o.spec.label for o in outs if not o.ok]
+        diverged = [o.spec.label for o in outs
+                    if o.ok and not _bit_identical(
+                        o.result, local[o.spec.label].result)]
+        client.shutdown()
+        proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:                # pragma: no cover
+            proc.kill()
+            proc.wait(timeout=30)
+        log.close()
+
+    if lost or diverged:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"lost={lost} diverged={diverged} after recovery",
+            fired=1)
+    if recovered < 1 or counter < 1:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"no recovery recorded (status={recovered}, "
+            f"metric={counter:g}) — did the kill land post-batch?",
+            fired=1)
+    return ScenarioOutcome(
+        name, injected, TOLERATED,
+        f"degradation recorded: {recovered} orphan(s) re-enqueued "
+        f"(journal counter {counter:g}), all {len(specs)} results "
+        "bit-identical to local run_many", fired=1)
+
+
+# -- journal scenarios --------------------------------------------------------
+
+def _seed_journal(path: str, cache, spec_done, spec_orphan) -> None:
+    """A journal as a killed daemon would leave it: one completed key,
+    one submitted-but-unfinished key."""
+    from repro.service import JobJournal
+    from repro.service.protocol import spec_to_wire
+    j = JobJournal(path, sync="always")
+    k_done = cache.key_for(spec_done)
+    k_orph = cache.key_for(spec_orphan)
+    j.append("submitted", k_done, spec=spec_to_wire(spec_done),
+             client="chaos", trace="t-done")
+    j.append("started", k_done)
+    j.append("done", k_done, ok=True)
+    j.append("submitted", k_orph, spec=spec_to_wire(spec_orphan),
+             client="chaos", trace="t-orphan")
+    j.close()
+
+
+def _scn_journal_torn_tail(ctx) -> ScenarioOutcome:
+    """Crash signature: a partial record at EOF must be truncated,
+    counted, and everything before it recovered."""
+    from repro.exec import ResultCache
+    from repro.service import ServiceClient
+    from repro.service.journal import _MAGIC
+
+    name = "journal-torn-tail"
+    injected = "append half a record to the journal (crash mid-write)"
+    store = os.path.join(ctx["workdir"], name)
+    cache_root = os.path.join(store, "store")
+    cache = ResultCache(root=cache_root, salt=_SALT)
+    spec_done, spec_orphan = _specs(ctx["scale"], ctx["seed"] + 201)[:2]
+    path = os.path.join(cache_root, "service.journal")
+    _seed_journal(path, cache, spec_done, spec_orphan)
+    with open(path, "ab") as fh:       # a frame that promises 64 bytes
+        fh.write(_MAGIC + (64).to_bytes(4, "big") + b"\x00" * 10)
+
+    with _daemon_thread(ctx, store) as handle:
+        client = ServiceClient(handle.socket_path, client_id="chaos")
+        _poll(lambda: client.status()["queue_depth"] == 0,
+              what="orphan replay to finish")
+        status = client.status()
+        outs = client.wait_for([spec_orphan])
+    j = status["journal"]
+    if j["torn"] != 1 or j["recovered"] != 1 or not outs[0].ok:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"journal={j} orphan ok={outs[0].ok} "
+            f"error={outs[0].error!r}", fired=1)
+    return ScenarioOutcome(
+        name, injected, DETECTED,
+        f"torn tail truncated and counted (torn={j['torn']}), orphan "
+        "re-executed to completion", fired=1)
+
+
+def _scn_journal_corrupt(ctx) -> ScenarioOutcome:
+    """Bit-rot one journal record: it must be skipped with a warning,
+    counted in recovery, and the intact orphan still recovered."""
+    from repro.exec import ResultCache
+    from repro.service import JobJournal, JournalIntegrityWarning, \
+        ServiceClient
+
+    name = "journal-corrupt-record"
+    injected = "flip one byte inside a mid-journal record payload"
+    store = os.path.join(ctx["workdir"], name)
+    cache_root = os.path.join(store, "store")
+    cache = ResultCache(root=cache_root, salt=_SALT)
+    spec_done, spec_orphan = _specs(ctx["scale"], ctx["seed"] + 301)[:2]
+    path = os.path.join(cache_root, "service.journal")
+    _seed_journal(path, cache, spec_done, spec_orphan)
+    # corrupt the *started* record of the completed key: its payload is
+    # tiny and sits between two intact records
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    needle = blob.find(b'"started"')
+    blob[needle + 2] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+
+    # the warning is part of the contract — prove it fires on replay
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        replay = JobJournal(path, sync="off").replay(truncate_torn=False)
+    loud = [w for w in caught
+            if issubclass(w.category, JournalIntegrityWarning)]
+
+    with _daemon_thread(ctx, store) as handle:
+        client = ServiceClient(handle.socket_path, client_id="chaos")
+        _poll(lambda: client.status()["queue_depth"] == 0,
+              what="orphan replay to finish")
+        status = client.status()
+        outs = client.wait_for([spec_orphan])
+    j = status["journal"]
+    if (replay.corrupt != 1 or not loud or j["corrupt"] != 1
+            or j["recovered"] != 1 or not outs[0].ok):
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"replay.corrupt={replay.corrupt} warnings={len(loud)} "
+            f"journal={j} orphan ok={outs[0].ok}", fired=1)
+    return ScenarioOutcome(
+        name, injected, DETECTED,
+        "JournalIntegrityWarning raised, corrupt record quarantined "
+        f"(corrupt={j['corrupt']}), intact orphan recovered", fired=1)
+
+
+# -- protocol / connection scenarios ------------------------------------------
+
+def _scn_conn_reset(ctx) -> ScenarioOutcome:
+    """RST a connection half-way through a frame; the daemon must shrug
+    and keep serving everyone else."""
+    from repro.service import ServiceClient
+
+    name = "conn-reset-mid-frame"
+    injected = "SO_LINGER-0 close after sending half a request frame"
+    store = os.path.join(ctx["workdir"], name)
+    with _daemon_thread(ctx, store) as handle:
+        s = _raw_conn(handle.socket_path)
+        s.sendall(b'{"op": "submit", "client": "half')   # no newline
+        import struct
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                     struct.pack("ii", 1, 0))
+        s.close()
+        client = ServiceClient(handle.socket_path, client_id="chaos")
+        pong = client.ping()
+        status = client.status()
+    healthy = pong["ok"] and status["jobs"]["submitted"] == 0
+    if not healthy:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"daemon degraded after reset: {status['jobs']}", fired=1)
+    return ScenarioOutcome(
+        name, injected, TOLERATED,
+        "daemon answered ping after the reset; no phantom submission "
+        "recorded", fired=1)
+
+
+def _scn_slowloris(ctx) -> ScenarioOutcome:
+    """Stalled clients holding connections open must not block real
+    work — the executor thread and event loop stay responsive."""
+    from repro.service import ServiceClient
+
+    name = "slowloris-client"
+    injected = "3 connections held open mid-frame while a real client "\
+               "submits"
+    store = os.path.join(ctx["workdir"], name)
+    spec = _specs(ctx["scale"], ctx["seed"] + 401, benches=(450,))[0]
+    with _daemon_thread(ctx, store) as handle:
+        stalled = [_raw_conn(handle.socket_path) for _ in range(3)]
+        for s in stalled:
+            s.sendall(b"{")            # a frame that never completes
+        try:
+            client = ServiceClient(handle.socket_path,
+                                   client_id="chaos")
+            t0 = time.time()
+            outs = client.submit([spec])
+            elapsed = time.time() - t0
+        finally:
+            for s in stalled:
+                s.close()
+    if not outs[0].ok:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"real client failed behind stalled peers: "
+            f"{outs[0].error!r}", fired=3)
+    return ScenarioOutcome(
+        name, injected, TOLERATED,
+        f"real submission completed in {elapsed:.1f}s with 3 stalled "
+        "connections open", fired=3)
+
+
+def _scn_malformed_frame(ctx) -> ScenarioOutcome:
+    """Garbage must get a *structured* refusal, not a hang or a stack
+    trace on the wire."""
+    from repro.service import ServiceClient
+    from repro.service.protocol import CODE_PROTOCOL_ERROR
+
+    name = "malformed-frame"
+    injected = "send a non-JSON line as a request"
+    store = os.path.join(ctx["workdir"], name)
+    with _daemon_thread(ctx, store) as handle:
+        s = _raw_conn(handle.socket_path)
+        s.sendall(b"this is not a protocol frame\n")
+        reply = s.makefile("rb").readline()
+        s.close()
+        client = ServiceClient(handle.socket_path, client_id="chaos")
+        alive = client.ping()["ok"]
+    try:
+        obj = json.loads(reply.decode("utf-8"))
+    except ValueError:
+        obj = {}
+    if obj.get("ok") is not False \
+            or obj.get("code") != CODE_PROTOCOL_ERROR or not alive:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"reply={reply!r} daemon alive={alive}", fired=1)
+    return ScenarioOutcome(
+        name, injected, DETECTED,
+        f"structured refusal code={obj['code']!r}, daemon healthy",
+        fired=1)
+
+
+def _scn_oversized_frame(ctx) -> ScenarioOutcome:
+    """A frame past ``--max-frame`` must be refused and the connection
+    closed — never buffered without bound."""
+    name = "oversized-frame"
+    injected = "send a 256 KiB line to a daemon with --max-frame 64 KiB"
+    store = os.path.join(ctx["workdir"], name)
+    with _daemon_thread(ctx, store, max_frame=64 * 1024) as handle:
+        s = _raw_conn(handle.socket_path)
+        refused_on_send = False
+        try:
+            s.sendall(b"x" * (256 * 1024) + b"\n")
+        except OSError:
+            refused_on_send = True     # daemon already closed on us
+        reply = b""
+        try:
+            reply = s.makefile("rb").readline()
+        except OSError:
+            pass
+        s.close()
+        refusals = _metric_value(handle.socket_path,
+                                 "repro_frames_refused_total")
+        from repro.service import ServiceClient
+        alive = ServiceClient(handle.socket_path,
+                              client_id="chaos").ping()["ok"]
+    structured = b'"protocol_error"' in reply
+    if refusals < 1 or not alive:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"refusals={refusals:g} alive={alive} reply={reply[:80]!r}",
+            fired=1)
+    detail = ("structured protocol_error reply received"
+              if structured else
+              "connection dropped at the bound"
+              if refused_on_send or not reply else
+              f"refused (reply={reply[:60]!r})")
+    return ScenarioOutcome(
+        name, injected, DETECTED,
+        f"{detail}; refusal counter={refusals:g}, daemon healthy",
+        fired=1)
+
+
+def _scn_pool_massacre(ctx) -> ScenarioOutcome:
+    """SIGKILL every pool worker mid-job: the pool must respawn and the
+    daemon's retry budget must finish the batch."""
+    from repro.service import ServiceClient
+
+    name = "pool-massacre"
+    injected = "SIGKILL all pool workers while jobs are running"
+    store = os.path.join(ctx["workdir"], name)
+    specs = _specs(ctx["scale"], ctx["seed"] + 501)
+    with _daemon_thread(ctx, store, workers=2, retries=2) as handle:
+        client = ServiceClient(handle.socket_path, client_id="chaos")
+        client.submit(specs, wait=False)
+        _poll(lambda: client.status()["running"] >= 1,
+              what="a job to be running")
+        for pid in client.status()["worker_pids"]:
+            if pid:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:   # pragma: no cover
+                    pass
+        outs = client.wait_for(specs)
+        status = client.status()
+    lost = [o.spec.label for o in outs if not o.ok]
+    retried = max(o.attempts for o in outs)
+    recycled = status["workers_recycled"]
+    if lost:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            f"jobs lost to the massacre: {lost}", fired=1)
+    if retried <= 1 and recycled == 0:
+        return ScenarioOutcome(
+            name, injected, SILENT,
+            "massacre left no trace (landed after the batch?)",
+            fired=1)
+    return ScenarioOutcome(
+        name, injected, TOLERATED,
+        f"degradation recorded: workers recycled={recycled}, max "
+        f"attempts={retried}, all {len(specs)} jobs completed",
+        fired=1)
+
+
+# -- the campaign -------------------------------------------------------------
+
+_SERVICE_SCENARIOS: dict = {
+    "daemon-sigkill": _scn_daemon_sigkill,
+    "journal-torn-tail": _scn_journal_torn_tail,
+    "journal-corrupt-record": _scn_journal_corrupt,
+    "conn-reset-mid-frame": _scn_conn_reset,
+    "slowloris-client": _scn_slowloris,
+    "malformed-frame": _scn_malformed_frame,
+    "oversized-frame": _scn_oversized_frame,
+    "pool-massacre": _scn_pool_massacre,
+}
+
+
+def service_scenario_names() -> list:
+    return list(_SERVICE_SCENARIOS)
+
+
+def run_service_campaign(scale: str = "test", seed: int = 1,
+                         only: Optional[list] = None,
+                         progress: Optional[Callable] = None
+                         ) -> CampaignReport:
+    """Run the service chaos campaign and classify every scenario.
+
+    The clean control — a daemon round-trip whose outcomes must be
+    bit-identical to local ``run_many`` — runs first; a control failure
+    raises rather than classifies.
+    """
+    import multiprocessing as mp
+
+    from repro.service import ServiceClient
+
+    if "fork" not in mp.get_all_start_methods():  # pragma: no cover
+        raise RuntimeError("service campaign needs a POSIX fork "
+                           "process manager")
+    names = (list(_SERVICE_SCENARIOS) if only is None else list(only))
+    for n in names:
+        if n not in _SERVICE_SCENARIOS:
+            raise KeyError(
+                f"unknown service scenario {n!r}; known: "
+                f"{', '.join(_SERVICE_SCENARIOS)}")
+
+    workdir = tempfile.mkdtemp(prefix="repro-svc-chaos-")
+    report = CampaignReport(scale=scale, seed=seed, mix="(service)",
+                            policy="(service)")
+    ctx = {"scale": scale, "seed": seed, "workdir": workdir}
+    try:
+        # clean control: daemon results must equal local execution
+        specs = _specs(scale, seed)
+        local = _local_outcomes(specs,
+                                os.path.join(workdir, "control"))
+        with _daemon_thread(ctx, os.path.join(workdir, "control")) \
+                as handle:
+            outs = ServiceClient(handle.socket_path,
+                                 client_id="control").submit(specs)
+        for o, ref in zip(outs, local):
+            if not o.ok or not _bit_identical(o.result, ref.result):
+                raise RuntimeError(
+                    f"clean control failed: {o.spec.label} ok={o.ok} "
+                    f"error={o.error!r} identical="
+                    f"{_bit_identical(o.result, ref.result)}")
+
+        for name in names:
+            outcome = _SERVICE_SCENARIOS[name](ctx)
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return report

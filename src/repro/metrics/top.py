@@ -243,25 +243,42 @@ def render_frame(families: Dict[str, dict], health: dict) -> str:
 
 
 def run_top(address: Optional[str] = None, interval: float = 2.0,
-            once: bool = False, out=None) -> int:
-    """The ``python -m repro top`` entry point."""
+            once: bool = False, out=None, fetch_fn=None) -> int:
+    """The ``python -m repro top`` entry point.
+
+    Degrades gracefully when the daemon disappears mid-scrape or
+    between refreshes: the last-seen frame stays on screen under a
+    ``STALE`` banner and the view keeps retrying every ``interval``
+    until the daemon answers again (or Ctrl-C).  ``fetch_fn`` is an
+    injection seam for tests (same signature as :func:`fetch`).
+    """
     from repro.service.client import default_address
     address = address or default_address()
     out = out or sys.stdout
+    fetch_fn = fetch_fn or fetch
+    last_frame: Optional[str] = None
+    last_seen = 0.0
     try:
         while True:
             try:
-                _, metrics_body = fetch(address, "/metrics")
-                _, health_body = fetch(address, "/healthz")
+                _, metrics_body = fetch_fn(address, "/metrics")
+                _, health_body = fetch_fn(address, "/healthz")
                 health = json.loads(health_body.decode("utf-8"))
                 frame = render_frame(
                     parse_prometheus(metrics_body.decode("utf-8")),
                     health)
+                last_frame, last_seen = frame, time.time()
             except (OSError, ValueError) as e:
-                frame = f"no daemon at {address!r}: {e}"
-                if once:
-                    print(frame, file=out)
-                    return 1
+                if last_frame is None:
+                    frame = f"no daemon at {address!r}: {e}"
+                    if once:
+                        print(frame, file=out)
+                        return 1
+                else:
+                    age = max(0.0, time.time() - last_seen)
+                    frame = (f"[STALE {age:.0f}s] daemon unreachable "
+                             f"at {address!r}: {e} — retrying; "
+                             f"last-seen data below\n{last_frame}")
             if once:
                 print(frame, file=out)
                 return 0

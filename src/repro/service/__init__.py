@@ -14,21 +14,27 @@ The serving layer over :mod:`repro.exec` (see ``docs/service.md``)::
   graceful drain.
 * :mod:`repro.service.scheduler` — per-client admission control using
   the paper's ATU token idiom at the service level.
-* :mod:`repro.service.client` — ``submit`` / ``wait`` / ``stream`` and
-  the ``remote_run_many`` drop-in the CLI's ``--remote`` flag uses.
+* :mod:`repro.service.client` — ``submit`` / ``wait`` / ``stream``,
+  retry/failover, and the ``remote_run_many`` drop-in the CLI's
+  ``--remote`` flag uses.
+* :mod:`repro.service.journal` — the crash-safe job journal the daemon
+  replays after an unclean death.
 * :mod:`repro.service.protocol` — the newline-JSON wire vocabulary.
 """
 
 from repro.service.client import (SOCKET_ENV, ServiceClient, ServiceError,
-                                  default_address, remote_run_many,
-                                  service_available)
+                                  default_address, parse_addresses,
+                                  remote_run_many, service_available)
+from repro.service.journal import (JobJournal, JournalIntegrityWarning,
+                                   JournalReplay)
 from repro.service.scheduler import AdmissionController, ClientGate
 from repro.service.server import (DEFAULT_SOCKET, DaemonHandle,
                                   ServiceDaemon, start_daemon_thread)
 
 __all__ = [
     "AdmissionController", "ClientGate", "DEFAULT_SOCKET",
-    "DaemonHandle", "SOCKET_ENV", "ServiceClient", "ServiceDaemon",
-    "ServiceError", "default_address", "remote_run_many",
-    "service_available", "start_daemon_thread",
+    "DaemonHandle", "JobJournal", "JournalIntegrityWarning",
+    "JournalReplay", "SOCKET_ENV", "ServiceClient", "ServiceDaemon",
+    "ServiceError", "default_address", "parse_addresses",
+    "remote_run_many", "service_available", "start_daemon_thread",
 ]

@@ -1,4 +1,4 @@
-"""Thin synchronous client for the simulation service.
+"""Resilient synchronous client for the simulation service.
 
 :class:`ServiceClient` speaks the newline-JSON socket protocol
 (``docs/service.md``): ``submit`` routes a spec batch through a running
@@ -10,17 +10,34 @@ CLI's ``--remote`` flag uses.
 
 The rendezvous is a Unix socket path (default ``.repro_service.sock``
 in the working directory) or a ``host:port`` string for the TCP/HTTP
-listener; the ``REPRO_SERVICE`` environment variable supplies the
-default so benches and figure scripts route through a daemon without
-any code change.
+listener — or a **comma-separated list** of either, tried in order.
+The ``REPRO_SERVICE`` environment variable supplies the default, so
+benches and figure scripts route through a daemon (or an ordered set
+of daemons) without any code change.
+
+Failure handling is explicit and safe:
+
+* separate **connect** and **read** timeouts (a dead daemon is
+  detected in seconds; a long simulation may still take minutes);
+* **retry with exponential backoff + jitter** for idempotent
+  operations — safe because specs are content-addressed and the daemon
+  coalesces duplicates, so a resubmission is exactly-once at the
+  execution layer (``shutdown`` is the lone non-retried verb);
+* **ordered failover** across the address list, sticky to the last
+  address that answered;
+* structured ``overloaded`` refusals are honoured: the client sleeps
+  the daemon's ``retry_after`` hint before retrying, and ``draining``
+  daemons are skipped in favour of the next address.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
+import time
 import uuid
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro import metrics as _metrics
 from repro.exec.executor import RunOutcome
@@ -28,12 +45,20 @@ from repro.exec.specs import RunSpec
 from repro.service import protocol
 from repro.service.server import DEFAULT_SOCKET
 
-__all__ = ["ServiceClient", "ServiceError", "SOCKET_ENV",
-           "default_address", "remote_run_many", "service_available"]
+__all__ = ["ServiceClient", "ServiceError", "SOCKET_ENV", "FALLBACK_ENV",
+           "default_address", "parse_addresses", "remote_run_many",
+           "service_available"]
 
-#: environment variable naming the daemon rendezvous (socket path or
-#: ``host:port``); the CLI's ``--remote`` flag falls back to it
+#: environment variable naming the daemon rendezvous — a socket path,
+#: ``host:port``, or a comma-separated failover list of either; the
+#: CLI's ``--remote`` flag falls back to it
 SOCKET_ENV = "REPRO_SERVICE"
+
+#: environment variable selecting what ``remote_run_many`` does when
+#: every daemon is unreachable: ``local`` (default — warn and run
+#: in-process) or ``error`` (raise); the CLI's ``--remote-fallback``
+#: flag overrides it
+FALLBACK_ENV = "REPRO_REMOTE_FALLBACK"
 
 
 class ServiceError(RuntimeError):
@@ -44,7 +69,7 @@ def default_address() -> str:
     return os.environ.get(SOCKET_ENV, "").strip() or DEFAULT_SOCKET
 
 
-def _parse_address(address: str):
+def _parse_one(address: str):
     """``host:port`` -> TCP tuple, anything else -> unix socket path."""
     if ":" in address:
         host, _, port = address.rpartition(":")
@@ -53,67 +78,182 @@ def _parse_address(address: str):
     return address
 
 
+def parse_addresses(address: Union[str, Sequence[str], None]) -> List[str]:
+    """Normalise an address argument into an ordered failover list.
+
+    Accepts ``None`` (use :func:`default_address`), one string
+    (possibly comma-separated), or a sequence of strings.
+    """
+    if address is None:
+        address = default_address()
+    if isinstance(address, str):
+        parts = [p.strip() for p in address.split(",")]
+    else:
+        parts = [str(p).strip() for p in address]
+    out = [p for p in parts if p]
+    if not out:
+        raise ValueError("no service address given")
+    return out
+
+
 class ServiceClient:
     """One logical client (an admission-fairness lane) of the daemon.
 
     Each request opens a fresh connection — the daemon is the stateful
     side — so a client object is cheap, picklable-free, and safe to
-    share across threads.
+    share across threads.  ``address`` may be a comma-separated
+    failover list; requests stick to the last address that answered
+    and fail over in order when it stops.
     """
 
-    def __init__(self, address: Optional[str] = None,
+    def __init__(self, address: Union[str, Sequence[str], None] = None,
                  client_id: Optional[str] = None,
-                 timeout: Optional[float] = 600.0):
-        self.address = _parse_address(address or default_address())
+                 timeout: Optional[float] = 600.0,
+                 connect_timeout: float = 5.0,
+                 retries: int = 2,
+                 backoff: float = 0.25,
+                 backoff_max: float = 5.0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff <= 0 or backoff_max <= 0:
+            raise ValueError("backoff and backoff_max must be positive")
+        self.addresses = parse_addresses(address)
+        self._parsed = [_parse_one(a) for a in self.addresses]
+        self._preferred = 0            # index of the last-good address
         self.client_id = client_id or f"cli-{uuid.uuid4().hex[:8]}"
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
         #: trace IDs minted for the most recent :meth:`submit`, aligned
         #: with its specs — join them against the daemon's oplog
         self.last_traces: List[str] = []
 
+    @property
+    def address(self):
+        """The currently-preferred (last known good) parsed address."""
+        return self._parsed[self._preferred]
+
     # -- plumbing ------------------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect(self, addr) -> socket.socket:
+        """Open one connection: the *connect* timeout detects a dead
+        daemon fast, then the socket switches to the *read* timeout."""
         sock = None
         try:
-            if isinstance(self.address, tuple):
-                sock = socket.create_connection(self.address,
-                                                timeout=self.timeout)
+            if isinstance(addr, tuple):
+                sock = socket.create_connection(
+                    addr, timeout=self.connect_timeout)
             else:
                 sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
-                sock.connect(self.address)
+                sock.settimeout(self.connect_timeout)
+                sock.connect(addr)
         except OSError as e:
             if sock is not None:
                 sock.close()
             raise ServiceError(
-                f"no daemon at {self.address!r}: {e} "
+                f"no daemon at {addr!r}: {e} "
                 "(start one with `python -m repro serve`)") from None
+        sock.settimeout(self.timeout)
         return sock
 
+    def _request_once(self, addr, req: dict,
+                      on_line: Optional[Callable[[dict], bool]]) -> dict:
+        """One request against one address; connection-level trouble
+        (refused, reset, read timeout, truncated reply) raises
+        :class:`ServiceError` so the retry loop can take over."""
+        sock = self._connect(addr)
+        try:
+            try:
+                sock.sendall(protocol.dump_line(req))
+                with sock.makefile("rb") as fh:
+                    while True:
+                        line = fh.readline()
+                        if not line:
+                            raise ServiceError(
+                                f"connection to {addr!r} closed "
+                                "mid-response")
+                        obj = protocol.load_line(line)
+                        if on_line is not None and on_line(obj):
+                            continue
+                        return obj
+            except socket.timeout:
+                raise ServiceError(
+                    f"daemon at {addr!r} did not answer within "
+                    f"{self.timeout:g}s") from None
+            except OSError as e:
+                raise ServiceError(
+                    f"connection to {addr!r} failed: {e}") from None
+        finally:
+            sock.close()
+
+    def _rotation(self) -> List[int]:
+        n = len(self._parsed)
+        return [(self._preferred + i) % n for i in range(n)]
+
+    def _sleep(self, attempt: int, hint: Optional[float]) -> None:
+        """Exponential backoff with jitter, or the daemon's own
+        retry-after hint when it gave one."""
+        if hint is not None and hint > 0:
+            delay = hint
+        else:
+            delay = self.backoff * (2 ** attempt)
+            delay *= random.uniform(0.5, 1.5)
+        time.sleep(min(delay, self.backoff_max))
+
     def _request(self, req: dict,
-                 on_line: Optional[Callable[[dict], bool]] = None) -> dict:
-        """Send one request; return the final response object.
+                 on_line: Optional[Callable[[dict], bool]] = None,
+                 idempotent: bool = True,
+                 failover: bool = True) -> dict:
+        """Send one request with retry + failover; return the final
+        response object.
 
         ``on_line`` sees every intermediate line (streaming events) and
         returns True while it wants more; the first line it declines —
-        or any line when it is None — is the final response.
+        or any line when it is None — is the final response.  A retried
+        streaming request may replay events ``on_line`` already saw.
         """
-        sock = self._connect()
-        try:
-            sock.sendall(protocol.dump_line(req))
-            with sock.makefile("rb") as fh:
-                while True:
-                    line = fh.readline()
-                    if not line:
-                        raise ServiceError(
-                            "connection closed mid-response")
-                    obj = protocol.load_line(line)
-                    if on_line is not None and on_line(obj):
-                        continue
-                    return obj
-        finally:
-            sock.close()
+        attempts = (self.retries + 1) if idempotent else 1
+        order = self._rotation() if failover else [self._preferred]
+        last_err: Optional[ServiceError] = None
+        for attempt in range(attempts):
+            hint: Optional[float] = None
+            for idx in order:
+                try:
+                    resp = self._request_once(
+                        self._parsed[idx], req, on_line)
+                except ServiceError as e:
+                    last_err = e
+                    continue
+                code = resp.get("code")
+                if (code == protocol.CODE_DRAINING
+                        and len(order) > 1):
+                    # a draining daemon will never take this work —
+                    # treat like an unreachable address and move on
+                    last_err = ServiceError(
+                        resp.get("error") or "daemon draining")
+                    continue
+                if (code == protocol.CODE_OVERLOADED
+                        and idempotent and attempt + 1 < attempts):
+                    # honour the shed: wait the daemon's own hint, stay
+                    # with this (alive) daemon for the retry
+                    try:
+                        hint = float(resp.get("retry_after") or 0)
+                    except (TypeError, ValueError):
+                        hint = None
+                    last_err = ServiceError(
+                        resp.get("error") or "daemon overloaded")
+                    self._preferred = idx
+                    break
+                self._preferred = idx
+                return resp
+            else:
+                hint = None            # pure connection failures
+            if attempt + 1 >= attempts:
+                break
+            self._sleep(attempt, hint)
+        raise last_err or ServiceError("request failed")
 
     @staticmethod
     def _checked(resp: dict) -> dict:
@@ -133,21 +273,32 @@ class ServiceClient:
         return self._checked(self._request({"op": "cache-stats"}))
 
     def shutdown(self) -> dict:
-        """Ask the daemon to drain and exit (graceful)."""
-        return self._checked(self._request({"op": "shutdown"}))
+        """Ask the *preferred* daemon to drain and exit.  Never retried
+        or failed over — a shutdown aimed at one daemon must not land
+        on its stand-in."""
+        return self._checked(self._request(
+            {"op": "shutdown"}, idempotent=False, failover=False))
 
     def submit(self, specs: Iterable[RunSpec], wait: bool = True,
                on_event: Optional[Callable[[dict], None]] = None,
-               encoding: str = "pickle") -> List[RunOutcome]:
+               encoding: str = "pickle",
+               deadline: Optional[float] = None) -> List[RunOutcome]:
         """Route a spec batch through the daemon.
 
         With ``wait`` (default) blocks until every job settles and
         returns outcomes aligned with the input order, exactly like
         :func:`repro.exec.run_many`.  ``on_event`` turns on streaming:
         it receives every job lifecycle event (``queued`` / ``started``
-        / ``done``) live, before the final outcome list arrives.  With
-        ``wait=False`` returns immediately (an empty list); a later
-        :meth:`wait_for` with the same specs collects the results.
+        / ``done``) live, before the final outcome list arrives (a
+        retried submission may replay events).  With ``wait=False``
+        returns immediately (an empty list); a later :meth:`wait_for`
+        with the same specs collects the results.  ``deadline`` (in
+        seconds) tells the daemon to drop the jobs unstarted once
+        nobody could still be waiting for them.
+
+        Retry-safe: specs are content-addressed and the daemon
+        coalesces duplicates, so resubmitting after a connection error
+        is exactly-once at the execution layer.
         """
         specs = list(specs)
         # one fresh trace ID per spec: the correlation key that follows
@@ -163,6 +314,8 @@ class ServiceClient:
                "traces": traces,
                "wait": wait, "stream": on_event is not None,
                "encoding": encoding}
+        if deadline is not None:
+            req["deadline"] = float(deadline)
 
         def on_line(obj: dict) -> bool:
             if "event" not in obj:
@@ -197,27 +350,43 @@ class ServiceClient:
                 for w, spec in zip(wires, specs)]
 
 
-def service_available(address: Optional[str] = None) -> bool:
-    """True iff a daemon answers a ping at ``address`` (no exceptions)."""
+def service_available(address: Union[str, Sequence[str], None] = None
+                      ) -> bool:
+    """True iff some daemon answers a ping at ``address`` (which may be
+    a failover list; no exceptions escape)."""
     try:
-        ServiceClient(address, timeout=5.0).ping()
+        ServiceClient(address, timeout=5.0, retries=0).ping()
         return True
-    except (ServiceError, protocol.ProtocolError):
+    except (ServiceError, protocol.ProtocolError, ValueError):
         return False
 
 
 def remote_run_many(specs: Iterable[RunSpec],
-                    address: Optional[str] = None,
+                    address: Union[str, Sequence[str], None] = None,
                     progress=None,
                     client_id: Optional[str] = None,
-                    strict: bool = False) -> List[RunOutcome]:
+                    strict: bool = False,
+                    fallback: Optional[str] = None) -> List[RunOutcome]:
     """Drop-in ``run_many`` that routes through a running daemon.
 
     Outcomes are bit-identical to local execution — the daemon runs the
     same ``spec.run()`` in its warm workers and results cross the wire
     as lossless pickles.  ``progress`` matches ``run_many``'s callback
     signature; it fires per streamed ``done`` event.
+
+    When every daemon in the (possibly comma-separated) address list is
+    unreachable after retries, ``fallback`` decides: ``"local"`` (the
+    default, also via ``$REPRO_REMOTE_FALLBACK``) warns loudly and runs
+    the batch in-process — same results, no daemon required — while
+    ``"error"`` re-raises the :class:`ServiceError`.
     """
+    import sys
+
+    fallback = (fallback or os.environ.get(FALLBACK_ENV, "")
+                or "local").strip().lower()
+    if fallback not in ("local", "error"):
+        raise ValueError(
+            f"fallback must be 'local' or 'error', got {fallback!r}")
     specs = list(specs)
     client = ServiceClient(address, client_id=client_id)
     on_event = None
@@ -237,7 +406,21 @@ def remote_run_many(specs: Iterable[RunSpec],
                                 attempts=ev.get("attempts") or 1),
                      i, len(specs))
 
-    outcomes = client.submit(specs, wait=True, on_event=on_event)
+    try:
+        outcomes = client.submit(specs, wait=True, on_event=on_event)
+    except ServiceError as e:
+        if fallback != "local":
+            raise
+        print(f"warning: {e}; falling back to local execution "
+              f"(--remote-fallback=error to refuse)", file=sys.stderr)
+        _metrics.oplog().emit("remote_fallback", level="warning",
+                              error=str(e), specs=len(specs),
+                              addresses=client.addresses)
+        _metrics.counter("repro_remote_fallbacks_total",
+                         "remote_run_many batches that fell back to "
+                         "local execution").inc()
+        from repro.exec.executor import run_many
+        outcomes = run_many(specs, progress=progress)
     if strict and any(not o.ok for o in outcomes):
         from repro.exec.executor import BatchError
         raise BatchError(outcomes)

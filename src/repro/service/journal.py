@@ -1,0 +1,280 @@
+"""Crash-safe job journal — the daemon's write-ahead record of work.
+
+The daemon's result store is already crash-safe (atomic writes,
+checksummed frames), but the *queue* never was: SIGKILL a daemon with
+jobs queued or running and that work silently evaporated.  The journal
+closes the gap with the same framing idiom the cache uses on disk —
+magic, length, SHA-256 digest, payload — applied to an append-only log
+of job lifecycle transitions:
+
+``submitted``
+    a job was accepted and enqueued; the record carries the full wire
+    form of the spec so replay can reconstruct it without the client.
+``started``
+    the job was handed to a worker.
+``done``
+    the job reached a terminal state (``ok`` records success/failure);
+    the result itself lives in the store, never in the journal.
+``interrupted``
+    the job was salvaged during a drain — terminal, nothing to redo.
+
+On startup the daemon replays the journal: keys whose last transition
+is non-terminal are *orphans* and get re-enqueued (already-completed
+keys are naturally served from the store by the normal cache check, so
+replay never re-executes finished work).  The log is then compacted to
+empty — the orphans are re-journalled as fresh ``submitted`` records
+by the daemon's ordinary enqueue path.
+
+Torn tails (a partial record at EOF, the signature of a crash mid-
+append) are detected and truncated; checksum-corrupt records mid-file
+are skipped with a :class:`JournalIntegrityWarning`, mirroring the
+cache's quarantine behaviour.  Durability is tunable::
+
+    --journal-sync always    fsync after every append (crash = lose 0)
+    --journal-sync batch     fsync every N appends + on close (default)
+    --journal-sync off       flush to the OS only, never fsync
+    --journal-sync disabled  no journal at all
+
+The journal is daemon-side bookkeeping only — nothing on the
+simulation hot path touches it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import struct
+import threading
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "JobJournal",
+    "JournalIntegrityWarning",
+    "JournalReplay",
+    "SYNC_POLICIES",
+    "TERMINAL_EVENTS",
+]
+
+_MAGIC = b"RPJ1\n"                     # journal sibling of the cache's RPRC
+_LEN = struct.Struct(">I")
+_DIGEST_LEN = 32                       # sha256
+_HEADER_LEN = len(_MAGIC) + _LEN.size + _DIGEST_LEN
+_MAX_RECORD = 16 * 2 ** 20             # sanity bound on one record
+
+SYNC_POLICIES = ("always", "batch", "off")
+EVENTS = ("submitted", "started", "done", "interrupted")
+TERMINAL_EVENTS = frozenset({"done", "interrupted"})
+
+
+class JournalIntegrityWarning(UserWarning):
+    """A journal record failed validation and was skipped."""
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`JobJournal.replay` recovered from disk."""
+
+    records: int = 0                   # valid records read
+    corrupt: int = 0                   # checksum/decode failures skipped
+    torn: bool = False                 # partial record truncated at EOF
+    valid_bytes: int = 0               # offset of the last good record end
+    orphans: List[dict] = field(default_factory=list)
+    completed: int = 0                 # keys whose last event was done
+    interrupted: int = 0               # keys salvaged by a drain
+
+    @property
+    def recovered(self) -> int:
+        return len(self.orphans)
+
+
+def _frame(payload: bytes) -> bytes:
+    return (_MAGIC + _LEN.pack(len(payload))
+            + hashlib.sha256(payload).digest() + payload)
+
+
+class JobJournal:
+    """Append-only, checksummed journal of job lifecycle transitions.
+
+    Thread-safe: the daemon appends from both the event loop and the
+    executor thread.  Appends are framed exactly like cache entries
+    (magic + length + SHA-256 + payload) so torn and corrupt records
+    are detectable on replay.
+    """
+
+    def __init__(self, path: str, sync: str = "batch",
+                 batch_every: int = 32):
+        if sync not in SYNC_POLICIES:
+            raise ValueError(
+                f"journal sync must be one of {SYNC_POLICIES}, "
+                f"got {sync!r}")
+        self.path = os.fspath(path)
+        self.sync = sync
+        self.batch_every = max(1, int(batch_every))
+        self.appended = 0
+        self.fsyncs = 0
+        self._lock = threading.Lock()
+        self._fh: Optional[io.BufferedWriter] = None
+        self._since_sync = 0
+
+    # -- write side -----------------------------------------------------------
+
+    def _ensure_open(self) -> io.BufferedWriter:
+        if self._fh is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh = open(self.path, "ab")
+        return self._fh
+
+    def append(self, event: str, key: str, **fields) -> None:
+        """Journal one transition; durability per the sync policy."""
+        if event not in EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        record = {"event": event, "key": key}
+        record.update(fields)
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        with self._lock:
+            fh = self._ensure_open()
+            fh.write(_frame(payload))
+            fh.flush()
+            self.appended += 1
+            self._since_sync += 1
+            if self.sync == "always" or (
+                    self.sync == "batch"
+                    and self._since_sync >= self.batch_every):
+                os.fsync(fh.fileno())
+                self.fsyncs += 1
+                self._since_sync = 0
+
+    def reset(self) -> None:
+        """Truncate the journal to empty (post-replay compaction, or a
+        clean drain where the store already holds every result)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "wb"):
+                pass
+            self._since_sync = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.flush()
+            if self.sync != "off":
+                os.fsync(self._fh.fileno())
+                self.fsyncs += 1
+            self._fh.close()
+            self._fh = None
+            self._since_sync = 0
+
+    # -- read side ------------------------------------------------------------
+
+    def replay(self, truncate_torn: bool = True) -> JournalReplay:
+        """Read the journal back; classify every key's final state.
+
+        A torn tail (partial record at EOF — the signature of a crash
+        mid-append) is truncated in place when ``truncate_torn`` so the
+        next append lands on a clean frame boundary.  A mid-file record
+        whose digest does not match its payload is skipped with a
+        :class:`JournalIntegrityWarning` — the framing makes the *next*
+        record recoverable, exactly like the cache quarantining one bad
+        entry without poisoning the store.
+        """
+        out = JournalReplay()
+        last: Dict[str, dict] = {}     # key -> last record seen
+        first_submit: Dict[str, dict] = {}
+        try:
+            with open(self.path, "rb") as fh:
+                blob = fh.read()
+        except FileNotFoundError:
+            return out
+
+        off = 0
+        while off < len(blob):
+            header = blob[off:off + _HEADER_LEN]
+            if len(header) < _HEADER_LEN:
+                out.torn = True
+                break
+            if not header.startswith(_MAGIC):
+                # framing lost: nothing after this offset can be
+                # trusted, treat the remainder as a torn tail
+                out.torn = True
+                break
+            (length,) = _LEN.unpack(
+                header[len(_MAGIC):len(_MAGIC) + _LEN.size])
+            if length > _MAX_RECORD:
+                out.torn = True
+                break
+            digest = header[len(_MAGIC) + _LEN.size:]
+            payload = blob[off + _HEADER_LEN:off + _HEADER_LEN + length]
+            if len(payload) < length:
+                out.torn = True
+                break
+            next_off = off + _HEADER_LEN + length
+            if hashlib.sha256(payload).digest() != digest:
+                out.corrupt += 1
+                warnings.warn(
+                    f"journal record at offset {off} failed its "
+                    f"checksum and was skipped ({self.path})",
+                    JournalIntegrityWarning, stacklevel=2)
+                off = next_off
+                out.valid_bytes = next_off
+                continue
+            try:
+                record = json.loads(payload.decode("utf-8"))
+                key = record["key"]
+                event = record["event"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                out.corrupt += 1
+                warnings.warn(
+                    f"journal record at offset {off} did not decode "
+                    f"and was skipped ({self.path})",
+                    JournalIntegrityWarning, stacklevel=2)
+                off = next_off
+                out.valid_bytes = next_off
+                continue
+            out.records += 1
+            out.valid_bytes = next_off
+            last[key] = record
+            if event == "submitted" and key not in first_submit:
+                first_submit[key] = record
+            off = next_off
+
+        if out.torn and truncate_torn:
+            with self._lock:
+                if self._fh is not None:
+                    self._fh.close()
+                    self._fh = None
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(out.valid_bytes)
+
+        for key, record in last.items():
+            event = record["event"]
+            if event == "done":
+                out.completed += 1
+            elif event == "interrupted":
+                out.interrupted += 1
+            else:                       # submitted / started: orphaned
+                submit = first_submit.get(key)
+                if submit is not None and "spec" in submit:
+                    out.orphans.append(submit)
+                else:
+                    # a started record whose submitted record was lost
+                    # to corruption: nothing to reconstruct from
+                    out.corrupt += 1
+                    warnings.warn(
+                        f"orphaned job {key[:12]} has no intact "
+                        f"submitted record; cannot recover it "
+                        f"({self.path})",
+                        JournalIntegrityWarning, stacklevel=2)
+        return out

@@ -49,13 +49,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.exec.executor import RunOutcome
 
 #: protocol revision, echoed by ``ping``/``status`` so clients can
-#: detect a daemon built from different source
-PROTOCOL_VERSION = 1
+#: detect a daemon built from different source; v2 adds structured
+#: refusal codes (``overloaded`` with ``retry_after``, ``draining``,
+#: ``protocol_error``) and the per-request ``deadline`` field
+PROTOCOL_VERSION = 2
 
-#: a request/response line larger than this is refused — a defensive
-#: bound, not a practical limit (a paper-scale RunResult pickles to
-#: well under a megabyte)
-MAX_LINE_BYTES = 64 * 1024 * 1024
+#: a request/response line larger than this is refused with a
+#: structured ``protocol_error`` reply and a closed connection — the
+#: daemon's stream reader is bounded to this (``--max-frame``), so an
+#: abusive frame can never buffer without limit (a paper-scale
+#: RunResult pickles to well under a megabyte)
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: machine-readable refusal codes carried in error responses
+CODE_PROTOCOL_ERROR = "protocol_error"
+CODE_OVERLOADED = "overloaded"
+CODE_DRAINING = "draining"
 
 ENCODINGS = ("pickle", "json")
 
@@ -207,5 +216,13 @@ def outcome_from_wire(wire: dict, spec: RunSpec) -> "RunOutcome":
                       attempts=int(wire.get("attempts", 1)))
 
 
-def error_response(message: str) -> dict:
-    return {"ok": False, "error": message}
+def error_response(message: str, code: Optional[str] = None,
+                   **extra) -> dict:
+    """A refusal line.  ``code`` gives clients something machine-
+    readable to branch on (``overloaded`` refusals additionally carry a
+    ``retry_after`` hint in seconds)."""
+    resp = {"ok": False, "error": message}
+    if code is not None:
+        resp["code"] = code
+    resp.update(extra)
+    return resp

@@ -131,6 +131,22 @@ class AdmissionController:
         """Absolute admit time for one submission from ``client``."""
         return self.gate(client).next_admit_time(now, self.w_g)
 
+    # -- load shedding ---------------------------------------------------------
+
+    def shed_hint(self, depth: int) -> float:
+        """Retry-after hint (seconds) for an ``overloaded`` refusal.
+
+        The same quantised-growth arithmetic as ``observe`` applied to
+        how far *past* the shed point the backlog sits: one ``w_g_step``
+        quantum per excess job, floored at a single quantum (an
+        overloaded daemon never advertises "retry immediately") and
+        capped at ``w_g_max``.  Pure arithmetic — no state is touched,
+        so refused submissions are never charged admission either.
+        """
+        over = max(1, depth - self.target_depth)
+        return round(min(max(self.w_g_step, self.w_g_step * over),
+                         self.w_g_max), 6)
+
     def snapshot(self) -> dict:
         """Status-endpoint rendering (counters, current gate state)."""
         return {

@@ -23,6 +23,15 @@ submissions are refused, queued-but-unstarted jobs are marked
 :class:`~repro.exec.executor.BatchInterrupted`), running jobs finish
 and their results are persisted, then sockets, pool, and cache stats
 are closed out and the original signal handlers restored.
+
+Unclean death is survivable too: every job transition is journalled
+(:mod:`repro.service.journal`) so a daemon restarted against the same
+store replays the log, re-enqueues orphaned work, and serves already-
+completed keys from the cache — SIGKILL loses no submitted spec.  The
+frame reader is bounded (``--max-frame``), the submission queue sheds
+load past ``--max-queue`` with a structured ``overloaded`` refusal,
+per-request deadlines drop work nobody is waiting on, and stalled
+readers are disconnected after ``--write-timeout`` seconds.
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.inflight import InFlightRegistry
 from repro.exec.pool import WorkerPool
 from repro.service import protocol
+from repro.service.journal import JobJournal
 from repro.service.scheduler import AdmissionController
 
 __all__ = ["DEFAULT_SOCKET", "ServiceDaemon", "DaemonHandle",
@@ -60,7 +70,7 @@ class _Job:
     __slots__ = ("id", "key", "spec", "client", "state", "ok", "result",
                  "error", "source", "elapsed", "attempts", "done",
                  "subscribers", "deadline", "created", "trace",
-                 "waiter_traces")
+                 "waiter_traces", "expires")
 
     def __init__(self, job_id: int, key: str, spec, client: str,
                  trace: Optional[str] = None):
@@ -83,6 +93,9 @@ class _Job:
         self.done = asyncio.Event()   # created on the loop thread
         self.subscribers: List[asyncio.Queue] = []
         self.deadline: Optional[float] = None
+        #: client-requested absolute give-up time (monotonic); expired
+        #: jobs are dropped at dispatch instead of occupying a worker
+        self.expires: Optional[float] = None
         self.created = time.monotonic()
 
     def event(self, kind: str) -> dict:
@@ -106,11 +119,22 @@ class ServiceDaemon:
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None,
                  retries: int = 1,
-                 admission: Optional[AdmissionController] = None):
+                 admission: Optional[AdmissionController] = None,
+                 journal_sync: str = "batch",
+                 journal_path: Optional[str] = None,
+                 max_queue: int = 256,
+                 max_frame: int = protocol.MAX_LINE_BYTES,
+                 write_timeout: float = 30.0):
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive seconds (or None)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_frame < 4096:
+            raise ValueError("max_frame must be >= 4096 bytes")
+        if write_timeout <= 0:
+            raise ValueError("write_timeout must be positive seconds")
         self.socket_path = socket_path
         self.http_port = http_port
         self.http_host = http_host
@@ -120,6 +144,20 @@ class ServiceDaemon:
         self.admission = admission or AdmissionController()
         self.timeout = timeout
         self.retries = retries
+        self.max_queue = max_queue
+        self.max_frame = max_frame
+        self.write_timeout = write_timeout
+        #: crash-safe job journal in the store directory
+        #: (``journal_sync="disabled"`` turns it off entirely)
+        self.journal: Optional[JobJournal] = None
+        if journal_sync != "disabled":
+            self.journal = JobJournal(
+                journal_path
+                or os.path.join(self.cache.root, "service.journal"),
+                sync=journal_sync)
+        #: what the startup replay recovered (``status()["journal"]``)
+        self.journal_recovery: dict = {
+            "recovered": 0, "completed": 0, "corrupt": 0, "torn": 0}
 
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._work_q: "queue.Queue[_Job]" = queue.Queue()
@@ -144,6 +182,9 @@ class ServiceDaemon:
         self.cache_hits = 0
         self.jobs_failed = 0
         self.jobs_interrupted = 0
+        self.jobs_shed = 0            # refused: queue past max_queue
+        self.jobs_expired = 0         # dropped: client deadline passed
+        self.jobs_recovered = 0       # re-enqueued from the journal
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -165,14 +206,19 @@ class ServiceDaemon:
             self.pool.start()
         self._install_signal_handlers()
         try:
+            # replay the crash journal before the first client can
+            # connect: orphans of a killed predecessor re-enter the
+            # queue ahead of any fresh submissions
+            self._recover_journal()
             if os.path.exists(self.socket_path):
                 os.unlink(self.socket_path)   # stale from a hard kill
             self._servers.append(await asyncio.start_unix_server(
-                self._handle_conn, path=self.socket_path))
+                self._handle_conn, path=self.socket_path,
+                limit=self.max_frame))
             if self.http_port is not None:
                 self._servers.append(await asyncio.start_server(
                     self._handle_conn, host=self.http_host,
-                    port=self.http_port))
+                    port=self.http_port, limit=self.max_frame))
             self._exec_thread = threading.Thread(
                 target=self._exec_loop, name="repro-service-exec",
                 daemon=True)
@@ -180,7 +226,8 @@ class ServiceDaemon:
             self._ready.set()
             _metrics.oplog().emit(
                 "daemon_started", socket=self.socket_path,
-                http_port=self.http_port, workers=self.pool.size)
+                http_port=self.http_port, workers=self.pool.size,
+                recovered=self.jobs_recovered)
             await self._stopped.wait()
         finally:
             self._ready.set()                 # never leave starters hung
@@ -207,6 +254,78 @@ class ServiceDaemon:
                 pass
         self._prev_handlers.clear()
 
+    def _recover_journal(self) -> None:
+        """Replay the crash journal left by a killed predecessor.
+
+        Orphaned jobs (``submitted``/``started`` without a terminal
+        record) are re-enqueued through the ordinary claim/enqueue
+        path — already-completed keys among them are then served from
+        the store by ``_start_job``'s cache check, so nothing finished
+        is ever re-executed.  The log is compacted afterwards: the
+        orphans' fresh ``submitted`` records are its only content.
+        """
+        if self.journal is None:
+            return
+        import warnings as _warnings
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            replay = self.journal.replay()
+        for w in caught:
+            _metrics.oplog().emit("journal_warning", level="warning",
+                                  message=str(w.message))
+        self.journal.reset()
+        _metrics.counter(
+            "repro_journal_replayed_records_total",
+            "Valid journal records read at startup").inc(replay.records)
+        _metrics.counter(
+            "repro_journal_corrupt_records_total",
+            "Checksum/decode-corrupt journal records skipped at "
+            "replay").inc(replay.corrupt)
+        _metrics.counter(
+            "repro_journal_torn_tails_total",
+            "Partial trailing records truncated at replay").inc(
+            1 if replay.torn else 0)
+        skipped = 0
+        for record in replay.orphans:
+            try:
+                spec = protocol.spec_from_wire(record["spec"])
+            except protocol.ProtocolError:
+                skipped += 1
+                _metrics.oplog().emit(
+                    "journal_warning", level="warning",
+                    message=f"unrecoverable orphan spec for key "
+                            f"{record.get('key', '?')[:12]}")
+                continue
+            # recompute the key: a daemon built from edited sources
+            # must not serve a stale entry under an old salt
+            key = self.cache.key_for(spec)
+            trace = record.get("trace")
+            job, created = self.registry.claim(
+                key, lambda: _Job(next(self._ids), key, spec,
+                                  str(record.get("client") or "anon"),
+                                  trace=trace))
+            if not created:            # duplicate orphan records
+                continue
+            self.jobs_submitted += 1
+            self.jobs_recovered += 1
+            self.journal.append("submitted", key,
+                                spec=protocol.spec_to_wire(spec),
+                                client=job.client, trace=job.trace)
+            self._enqueue(job)
+        _metrics.counter(
+            "repro_journal_recovered_jobs_total",
+            "Orphaned jobs re-enqueued from the journal at "
+            "startup").inc(self.jobs_recovered)
+        self.journal_recovery = {
+            "recovered": self.jobs_recovered,
+            "completed": replay.completed,
+            "corrupt": replay.corrupt + skipped,
+            "torn": int(replay.torn),
+        }
+        if (replay.records or replay.corrupt or replay.torn):
+            _metrics.oplog().emit("journal_recovered",
+                                  **self.journal_recovery)
+
     def begin_drain(self) -> None:
         """Refuse new work, salvage the queue, finish what's running.
         Idempotent; callable from signal handlers and request ops."""
@@ -226,6 +345,8 @@ class ServiceDaemon:
         job.error = "interrupted"
         job.source = "error"
         self.jobs_interrupted += 1
+        if self.journal is not None:
+            self.journal.append("interrupted", job.key)
         _metrics.counter("repro_jobs_interrupted_total",
                          "Queued jobs salvaged as interrupted at "
                          "drain").inc()
@@ -242,17 +363,23 @@ class ServiceDaemon:
             # join off-loop so in-flight simulations can finish
             await self._loop.run_in_executor(
                 None, self._exec_thread.join)
-        self.last_drain = {
-            "at": round(time.time(), 3),
-            "uptime": round(time.monotonic() - self._started_at, 3),
-            "submitted": self.jobs_submitted,
-            "executed": self.jobs_executed,
-            "cache_hits": self.cache_hits,
-            "failed": self.jobs_failed,
-            "interrupted": self.jobs_interrupted,
-            "coalesced": self.registry.coalesced,
-        }
-        _metrics.oplog().emit("drain_summary", **self.last_drain)
+        if self.last_drain is None:   # idempotent: summarise once only
+            self.last_drain = {
+                "at": round(time.time(), 3),
+                "uptime": round(time.monotonic() - self._started_at, 3),
+                "submitted": self.jobs_submitted,
+                "executed": self.jobs_executed,
+                "cache_hits": self.cache_hits,
+                "failed": self.jobs_failed,
+                "interrupted": self.jobs_interrupted,
+                "coalesced": self.registry.coalesced,
+            }
+            _metrics.oplog().emit("drain_summary", **self.last_drain)
+        if self.journal is not None:
+            # clean drain: every job is terminal and every result is in
+            # the store, so the journal compacts to empty
+            self.journal.reset()
+            self.journal.close()
         for server in self._servers:
             server.close()
             await server.wait_closed()
@@ -311,12 +438,25 @@ class ServiceDaemon:
                              "cache, no worker involved").inc()
             self._complete(job, True, hit, source=source)
             return
+        if job.expires is not None and time.monotonic() > job.expires:
+            # nobody is waiting for this any more: drop it instead of
+            # occupying a worker (cache hits above are still served —
+            # they cost nothing)
+            self.jobs_expired += 1
+            _metrics.counter("repro_jobs_expired_total",
+                             "Jobs dropped at dispatch because their "
+                             "client deadline had passed").inc()
+            self._complete(job, False, None,
+                           error="deadline exceeded before start")
+            return
         job.attempts += 1
         job.state = "running"
         job.deadline = (time.monotonic() + self.timeout
                         if self.timeout is not None else None)
         self.jobs_executed += 1
         exec_counters["executed"] += 1
+        if self.journal is not None and job.attempts == 1:
+            self.journal.append("started", job.key)
         _metrics.counter("repro_jobs_started_total",
                          "Jobs dispatched to a pool worker (cache "
                          "hits never start)").inc()
@@ -371,6 +511,8 @@ class ServiceDaemon:
         job.state = "done" if ok else "failed"
         if not ok:
             self.jobs_failed += 1
+        if self.journal is not None:
+            self.journal.append("done", job.key, ok=ok)
         _metrics.counter("repro_jobs_done_total",
                          "Jobs settled, by outcome",
                          ok=str(ok).lower()).inc()
@@ -411,7 +553,15 @@ class ServiceDaemon:
         t0 = time.perf_counter()
         transport = "socket"
         try:
-            first = await reader.readline()
+            try:
+                first = await reader.readline()
+            except ValueError:
+                # the bounded stream reader overran max_frame: answer
+                # with a structured refusal, then drop the connection
+                await self._refuse_frame(
+                    writer,
+                    f"frame exceeds {self.max_frame} bytes")
+                return
             if not first:
                 return
             if first[:4] in (b"GET ", b"POST", b"HEAD"):
@@ -423,8 +573,9 @@ class ServiceDaemon:
                 await self._dispatch(req, writer)
             except protocol.ProtocolError as e:
                 writer.write(protocol.dump_line(
-                    protocol.error_response(str(e))))
-                await writer.drain()
+                    protocol.error_response(
+                        str(e), code=protocol.CODE_PROTOCOL_ERROR)))
+                await self._drain_writer(writer)
         except (ConnectionResetError, BrokenPipeError):
             pass                      # client went away mid-reply
         finally:
@@ -438,6 +589,42 @@ class ServiceDaemon:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _refuse_frame(self, writer, why: str) -> None:
+        """Oversized/unframeable input: one structured refusal line,
+        then the connection is closed by the caller."""
+        _metrics.counter("repro_frames_refused_total",
+                         "Connections dropped for oversized or "
+                         "unparseable frames").inc()
+        _metrics.oplog().emit("frame_refused", level="warning", why=why)
+        try:
+            writer.write(protocol.dump_line(protocol.error_response(
+                why, code=protocol.CODE_PROTOCOL_ERROR)))
+            await self._drain_writer(writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _drain_writer(self, writer) -> None:
+        """``writer.drain()`` with a patience limit: a reader stalled
+        past ``write_timeout`` seconds is disconnected so its buffered
+        reply can't grow without bound (the event loop itself never
+        blocks either way — this bounds *memory*, not latency)."""
+        try:
+            await asyncio.wait_for(writer.drain(), self.write_timeout)
+        except asyncio.TimeoutError:
+            _metrics.counter(
+                "repro_slow_clients_dropped_total",
+                "Connections aborted because the client stopped "
+                "reading").inc()
+            _metrics.oplog().emit("slow_client_dropped",
+                                  level="warning",
+                                  timeout=self.write_timeout)
+            transport = getattr(writer, "transport", None)
+            if transport is not None:
+                transport.abort()
+            raise ConnectionResetError(
+                f"client stopped reading for {self.write_timeout:g}s"
+            ) from None
 
     async def _dispatch(self, req: dict,
                         writer: asyncio.StreamWriter) -> None:
@@ -457,7 +644,7 @@ class ServiceDaemon:
         elif op == "shutdown":
             resp = {"ok": True, "draining": True}
             writer.write(protocol.dump_line(resp))
-            await writer.drain()
+            await self._drain_writer(writer)
             self.begin_drain()
             return
         elif op == "submit":
@@ -469,7 +656,7 @@ class ServiceDaemon:
         else:
             resp = protocol.error_response(f"unknown op {op!r}")
         writer.write(protocol.dump_line(resp))
-        await writer.drain()
+        await self._drain_writer(writer)
 
     async def _op_submit(self, req: dict, writer: asyncio.StreamWriter,
                          admit: bool) -> None:
@@ -477,8 +664,9 @@ class ServiceDaemon:
         ``wait`` only attaches to in-flight or cached results."""
         if self._draining:
             writer.write(protocol.dump_line(protocol.error_response(
-                "draining: daemon is shutting down")))
-            await writer.drain()
+                "draining: daemon is shutting down",
+                code=protocol.CODE_DRAINING)))
+            await self._drain_writer(writer)
             return
         encoding = req.get("encoding", "pickle")
         if encoding not in protocol.ENCODINGS:
@@ -488,6 +676,40 @@ class ServiceDaemon:
         if not isinstance(raw_specs, list) or not raw_specs:
             raise protocol.ProtocolError("submit needs a spec list")
         specs = [protocol.spec_from_wire(w) for w in raw_specs]
+        if admit:
+            depth = self.queue_depth()
+            if depth >= self.max_queue:
+                # explicit load shedding: refuse the whole batch with a
+                # machine-readable code and a retry-after hint instead
+                # of buffering without bound
+                self.jobs_shed += len(specs)
+                hint = self.admission.shed_hint(depth)
+                _metrics.counter(
+                    "repro_jobs_shed_total",
+                    "Submissions refused because the queue was at "
+                    "max_queue").inc(len(specs))
+                _metrics.oplog().emit(
+                    "overloaded", level="warning", client=str(
+                        req.get("client") or "anon"),
+                    depth=depth, specs=len(specs), retry_after=hint)
+                writer.write(protocol.dump_line(protocol.error_response(
+                    f"overloaded: queue depth {depth} >= "
+                    f"{self.max_queue}", code=protocol.CODE_OVERLOADED,
+                    retry_after=hint)))
+                await self._drain_writer(writer)
+                return
+        deadline = req.get("deadline")
+        expires: Optional[float] = None
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise protocol.ProtocolError(
+                    f"bad deadline: {deadline!r}") from None
+            if deadline <= 0:
+                raise protocol.ProtocolError(
+                    "deadline must be positive seconds")
+            expires = time.monotonic() + deadline
         # per-spec trace IDs ride *beside* the specs (never inside —
         # cache keys are unperturbed); absent or misaligned, the daemon
         # mints its own so every execution is still traceable
@@ -532,6 +754,12 @@ class ServiceDaemon:
                         job.state = "done"
                     job.done.set()
                 else:
+                    job.expires = expires
+                    if self.journal is not None:
+                        self.journal.append(
+                            "submitted", key,
+                            spec=protocol.spec_to_wire(spec),
+                            client=client, trace=job.trace)
                     at = self.admission.admit(client, now)
                     self.admission.observe(self.queue_depth())
                     self._gate_gauges(client)
@@ -567,7 +795,7 @@ class ServiceDaemon:
             writer.write(protocol.dump_line(
                 {"ok": True, "queued": len(jobs),
                  "keys": [j.key for j in jobs]}))
-            await writer.drain()
+            await self._drain_writer(writer)
             return
         for job in {j.id: j for j in jobs}.values():
             await job.done.wait()
@@ -575,7 +803,7 @@ class ServiceDaemon:
                     for i, job in enumerate(jobs)]
         writer.write(protocol.dump_line(
             {"ok": True, "outcomes": outcomes}))
-        await writer.drain()
+        await self._drain_writer(writer)
 
     def _enqueue(self, job: _Job) -> None:
         _metrics.counter("repro_jobs_queued_total",
@@ -626,15 +854,15 @@ class ServiceDaemon:
                 writer.write(protocol.dump_line(job.event("done")))
             else:
                 pending.add(job.id)
-        await writer.drain()
+        await self._drain_writer(writer)
         while pending:
             ev = await sub_q.get()
             writer.write(protocol.dump_line(ev))
-            await writer.drain()
+            await self._drain_writer(writer)
             if ev.get("event") == "done":
                 pending.discard(ev.get("id"))
         writer.write(protocol.dump_line({"event": "batch-done"}))
-        await writer.drain()
+        await self._drain_writer(writer)
 
     def _job_outcome(self, index: int, job: _Job,
                      encoding: str) -> dict:
@@ -662,6 +890,7 @@ class ServiceDaemon:
             "worker_pids": self.pool.pids(),
             "workers_recycled": self.pool.recycled,
             "queue_depth": self.queue_depth(),
+            "max_queue": self.max_queue,
             "running": len(self._busy),
             "jobs": {
                 "submitted": self.jobs_submitted,
@@ -671,7 +900,18 @@ class ServiceDaemon:
                 "failed": self.jobs_failed,
                 "interrupted": self.jobs_interrupted,
                 "coalesced": self.registry.coalesced,
+                "shed": self.jobs_shed,
+                "expired": self.jobs_expired,
+                "recovered": self.jobs_recovered,
             },
+            "journal": dict(self.journal_recovery,
+                            enabled=self.journal is not None,
+                            sync=(self.journal.sync
+                                  if self.journal is not None
+                                  else "disabled"),
+                            appended=(self.journal.appended
+                                      if self.journal is not None
+                                      else 0)),
             "admission": self.admission.snapshot(),
             "cache": {"root": os.path.abspath(self.cache.root),
                       "files": files, "bytes": size},
@@ -689,6 +929,7 @@ class ServiceDaemon:
                      "busy": len(self._busy),
                      "recycled": self.pool.recycled},
             "queue_depth": self.queue_depth(),
+            "journal": self.journal_recovery,
             "last_drain": self.last_drain,
         }
 
@@ -724,7 +965,16 @@ class ServiceDaemon:
             return
         length = 0
         while True:
-            line = await reader.readline()
+            try:
+                line = await reader.readline()
+            except ValueError:
+                _write_http(writer, "431 Request Header Fields Too Large",
+                            json.dumps(protocol.error_response(
+                                "oversized header line",
+                                code=protocol.CODE_PROTOCOL_ERROR)
+                            ).encode("utf-8"))
+                await self._drain_writer(writer)
+                return
             if not line or line in (b"\r\n", b"\n"):
                 break
             name, _, value = line.decode("latin-1").partition(":")
@@ -733,6 +983,14 @@ class ServiceDaemon:
                     length = int(value.strip())
                 except ValueError:
                     length = 0
+        if length > self.max_frame:
+            _write_http(writer, "413 Payload Too Large",
+                        json.dumps(protocol.error_response(
+                            f"body exceeds {self.max_frame} bytes",
+                            code=protocol.CODE_PROTOCOL_ERROR)
+                        ).encode("utf-8"))
+            await self._drain_writer(writer)
+            return
         body = await reader.readexactly(length) if length else b""
 
         status = "200 OK"
@@ -742,7 +1000,7 @@ class ServiceDaemon:
                         _metrics.registry().render().encode("utf-8"),
                         content_type="text/plain; version=0.0.4; "
                                      "charset=utf-8")
-            await writer.drain()
+            await self._drain_writer(writer)
             return
         if method == "GET" and path == "/healthz":
             resp = self.healthz()
@@ -770,7 +1028,7 @@ class ServiceDaemon:
             status = "404 Not Found"
             resp = protocol.error_response(f"no route {method} {path}")
         _write_http(writer, status, json.dumps(resp).encode("utf-8"))
-        await writer.drain()
+        await self._drain_writer(writer)
 
 
 def _write_http(writer: asyncio.StreamWriter, status: str, body: bytes,
@@ -787,6 +1045,10 @@ class _HttpBodyWriter:
 
     def __init__(self, writer: asyncio.StreamWriter):
         self._writer = writer
+
+    @property
+    def transport(self):
+        return self._writer.transport
 
     def write(self, line: bytes) -> None:
         _write_http(self._writer, "200 OK", line.rstrip(b"\n"))

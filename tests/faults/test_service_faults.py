@@ -1,0 +1,54 @@
+"""The service chaos campaign: cheap scenarios at smoke scale.
+
+The full campaign (including the real-subprocess ``daemon-sigkill``
+tentpole) runs in CI's ``chaos-smoke`` job via
+``python -m repro faults --service``; here the in-process scenarios —
+journal recovery, protocol abuse, stalled clients — run at smoke scale
+so every classification path stays covered by the plain suite.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.faults import run_service_campaign, service_scenario_names
+from repro.faults.campaign import DETECTED, SILENT, TOLERATED
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="needs fork start method")
+
+
+def test_scenario_registry():
+    names = service_scenario_names()
+    assert "daemon-sigkill" in names
+    assert "journal-torn-tail" in names
+    assert len(names) == 8
+    with pytest.raises(KeyError, match="no-such"):
+        run_service_campaign(only=["no-such-scenario"])
+
+
+@needs_fork
+def test_journal_scenarios_detected():
+    report = run_service_campaign(
+        scale="smoke", seed=1,
+        only=["journal-torn-tail", "journal-corrupt-record"])
+    assert report.ok, report.format()
+    by_name = {o.name: o for o in report.outcomes}
+    assert by_name["journal-torn-tail"].classification == DETECTED
+    assert by_name["journal-corrupt-record"].classification == DETECTED
+    assert report.counts()[SILENT] == 0
+
+
+@needs_fork
+def test_protocol_abuse_scenarios():
+    report = run_service_campaign(
+        scale="smoke", seed=1,
+        only=["malformed-frame", "oversized-frame",
+              "conn-reset-mid-frame"])
+    assert report.ok, report.format()
+    by_name = {o.name: o for o in report.outcomes}
+    assert by_name["malformed-frame"].classification == DETECTED
+    assert by_name["oversized-frame"].classification == DETECTED
+    assert by_name["conn-reset-mid-frame"].classification == TOLERATED
+    assert "(service)" in report.format()

@@ -3,6 +3,7 @@ renderer — exercised against real ``MetricsRegistry.render()`` output,
 so the parser and the renderer can never drift apart."""
 
 import io
+import json
 
 from repro.metrics import MetricsRegistry
 from repro.metrics.top import (_parse_address, hist_quantile,
@@ -108,3 +109,39 @@ class TestRunTop:
                      out=out)
         assert rc == 1
         assert "no daemon" in out.getvalue()
+
+    def test_daemon_vanishing_shows_stale_banner_keeps_last_frame(
+            self, monkeypatch):
+        """The view degrades instead of exiting when the daemon
+        disappears between refreshes: a STALE banner over the last
+        good frame, still retrying."""
+        healthy = {"/metrics": (200, b"repro_jobs_queued_total 5\n"),
+                   "/healthz": (200, json.dumps(
+                       {"ok": True, "pid": 42, "uptime": 1.0,
+                        "pool": {"size": 1, "alive": 1},
+                        "queue_depth": 0}).encode())}
+        calls = {"n": 0}
+
+        def fetch_fn(address, path, timeout=5.0):
+            calls["n"] += 1
+            if calls["n"] > 2:          # daemon dies after frame one
+                raise OSError("connection refused")
+            return healthy[path]
+
+        sleeps = []
+
+        def sleep(seconds):
+            sleeps.append(seconds)
+            if len(sleeps) >= 2:        # one good frame, one stale
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.metrics.top.time.sleep", sleep)
+        out = io.StringIO()
+        rc = run_top(address="gone.sock", interval=0.01, out=out,
+                     fetch_fn=fetch_fn)
+        assert rc == 0                  # Ctrl-C, not a crash
+        text = out.getvalue()
+        assert "[STALE" in text
+        assert "retrying" in text
+        # the last-seen data is still on screen under the banner
+        assert text.count("repro service  pid 42") == 2

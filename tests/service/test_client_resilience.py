@@ -1,0 +1,228 @@
+"""Client-side resilience: retry, failover, shed handling, fallback.
+
+The fast tests fake the transport (``_request_once``) so retry and
+failover logic is exercised without sockets or sleeps; the daemon
+tests run a real daemon and prove the end-to-end contracts —
+structured ``overloaded`` refusals under a bounded queue, per-request
+deadlines, and ``remote_run_many``'s local fallback.
+"""
+
+import dataclasses
+import multiprocessing as mp
+import time
+
+import pytest
+
+from repro.exec import ResultCache, run_many, standalone_cpu_spec
+from repro.service import (ServiceClient, ServiceError, parse_addresses,
+                           remote_run_many, start_daemon_thread)
+from repro.service.client import FALLBACK_ENV, SOCKET_ENV
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK,
+                                reason="needs fork start method")
+
+SPEC = standalone_cpu_spec(403, "smoke")
+
+
+# -- address parsing ---------------------------------------------------------
+
+def test_parse_addresses_forms(monkeypatch):
+    monkeypatch.delenv(SOCKET_ENV, raising=False)
+    assert parse_addresses("a.sock") == ["a.sock"]
+    assert parse_addresses("a.sock, b:9000 ,c.sock") == \
+        ["a.sock", "b:9000", "c.sock"]
+    assert parse_addresses(["x", "y"]) == ["x", "y"]
+    assert parse_addresses(None) == [".repro_service.sock"]
+    monkeypatch.setenv(SOCKET_ENV, "one.sock,two.sock")
+    assert parse_addresses(None) == ["one.sock", "two.sock"]
+    with pytest.raises(ValueError, match="no service address"):
+        parse_addresses(" , ")
+
+
+def test_client_validates_knobs():
+    with pytest.raises(ValueError):
+        ServiceClient("a.sock", retries=-1)
+    with pytest.raises(ValueError):
+        ServiceClient("a.sock", backoff=0)
+
+
+# -- retry / failover over a faked transport ---------------------------------
+
+def test_retries_transient_connection_failures(monkeypatch):
+    client = ServiceClient("a.sock", retries=2, backoff=0.001)
+    calls = []
+
+    def fake(addr, req, on_line):
+        calls.append(addr)
+        if len(calls) < 3:
+            raise ServiceError("connection refused")
+        return {"ok": True}
+
+    monkeypatch.setattr(client, "_request_once", fake)
+    assert client.ping()["ok"]
+    assert len(calls) == 3
+
+
+def test_retries_exhausted_raises_last_error(monkeypatch):
+    client = ServiceClient("a.sock", retries=1, backoff=0.001)
+
+    def fake(addr, req, on_line):
+        raise ServiceError("still dead")
+
+    monkeypatch.setattr(client, "_request_once", fake)
+    with pytest.raises(ServiceError, match="still dead"):
+        client.ping()
+
+
+def test_failover_walks_the_list_in_order(monkeypatch):
+    client = ServiceClient("a.sock,b.sock,c.sock", retries=0)
+    calls = []
+
+    def fake(addr, req, on_line):
+        calls.append(addr)
+        if addr != "c.sock":
+            raise ServiceError(f"no daemon at {addr}")
+        return {"ok": True}
+
+    monkeypatch.setattr(client, "_request_once", fake)
+    assert client.ping()["ok"]
+    assert calls == ["a.sock", "b.sock", "c.sock"]
+    # sticky: the next request starts at the address that answered
+    calls.clear()
+    assert client.address == "c.sock"
+    client.ping()
+    assert calls == ["c.sock"]
+
+
+def test_draining_daemon_is_skipped_for_the_next_address(monkeypatch):
+    client = ServiceClient("a.sock,b.sock", retries=0)
+
+    def fake(addr, req, on_line):
+        if addr == "a.sock":
+            return {"ok": False, "code": "draining",
+                    "error": "draining: no new work"}
+        return {"ok": True, "served_by": addr}
+
+    monkeypatch.setattr(client, "_request_once", fake)
+    assert client.ping()["served_by"] == "b.sock"
+    assert client.address == "b.sock"
+
+
+def test_overloaded_retry_honours_the_daemons_hint(monkeypatch):
+    # jittered backoff would be >= 2.5s here; the daemon's 0.01s hint
+    # must win, proving retry-after is honoured
+    client = ServiceClient("a.sock", retries=1, backoff=5.0,
+                           backoff_max=10.0)
+    replies = [{"ok": False, "code": "overloaded", "retry_after": 0.01,
+                "error": "queue full"},
+               {"ok": True}]
+    sleeps = []
+    monkeypatch.setattr(client, "_request_once",
+                        lambda *a: replies.pop(0))
+    monkeypatch.setattr("repro.service.client.time.sleep",
+                        sleeps.append)
+    assert client.ping()["ok"]
+    assert sleeps == [0.01]
+
+
+def test_overloaded_without_retries_is_an_error(monkeypatch):
+    client = ServiceClient("a.sock", retries=0)
+    monkeypatch.setattr(
+        client, "_request_once",
+        lambda *a: {"ok": False, "code": "overloaded",
+                    "error": "queue full", "retry_after": 0.01})
+    with pytest.raises(ServiceError, match="queue full"):
+        client.ping()
+
+
+def test_shutdown_never_retries_or_fails_over(monkeypatch):
+    client = ServiceClient("a.sock,b.sock", retries=3, backoff=0.001)
+    calls = []
+
+    def fake(addr, req, on_line):
+        calls.append(addr)
+        raise ServiceError("gone")
+
+    monkeypatch.setattr(client, "_request_once", fake)
+    with pytest.raises(ServiceError):
+        client.shutdown()
+    assert calls == ["a.sock"]        # exactly one attempt, one address
+
+
+# -- remote_run_many fallback ------------------------------------------------
+
+def test_remote_falls_back_to_local_by_default(tmp_path, monkeypatch,
+                                               capsys):
+    monkeypatch.delenv(FALLBACK_ENV, raising=False)
+    dead = str(tmp_path / "nothing.sock")
+    outs = remote_run_many([SPEC], address=dead)
+    assert outs[0].ok and outs[0].result is not None
+    assert "falling back to local execution" in capsys.readouterr().err
+    direct = run_many([SPEC])[0]
+    assert dataclasses.asdict(outs[0].result) == \
+        dataclasses.asdict(direct.result)
+
+
+def test_remote_fallback_error_refuses(tmp_path, monkeypatch):
+    dead = str(tmp_path / "nothing.sock")
+    with pytest.raises(ServiceError):
+        remote_run_many([SPEC], address=dead, fallback="error")
+    monkeypatch.setenv(FALLBACK_ENV, "error")
+    with pytest.raises(ServiceError):
+        remote_run_many([SPEC], address=dead)
+    with pytest.raises(ValueError, match="fallback"):
+        remote_run_many([SPEC], address=dead, fallback="maybe")
+
+
+# -- real-daemon contracts: shed, deadline, failover -------------------------
+
+@needs_fork
+def test_failover_to_a_live_daemon(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    cache = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    with start_daemon_thread(socket_path=sock, workers=1, cache=cache):
+        dead = str(tmp_path / "dead.sock")
+        client = ServiceClient(f"{dead},{sock}", retries=0)
+        assert client.ping()["ok"]
+        assert client.address == sock
+
+
+@needs_fork
+def test_bounded_queue_sheds_with_retry_after(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    cache = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    with start_daemon_thread(socket_path=sock, workers=1, cache=cache,
+                             max_queue=1) as handle:
+        filler = standalone_cpu_spec(429, "smoke", seed=7)
+        ServiceClient(sock).submit([filler], wait=False)
+        refused = standalone_cpu_spec(433, "smoke", seed=7)
+        with pytest.raises(ServiceError, match="overloaded"):
+            ServiceClient(sock, retries=0).submit([refused])
+        status = handle.daemon.status()
+        assert status["jobs"]["shed"] >= 1
+        assert status["max_queue"] == 1
+        # the shed was a refusal, not a loss: resubmitting later works
+        deadline = time.time() + 120
+        while handle.daemon.queue_depth() and time.time() < deadline:
+            time.sleep(0.05)
+        outs = ServiceClient(sock).submit([refused])
+        assert outs[0].ok
+
+
+@needs_fork
+def test_deadline_expires_queued_jobs_unstarted(tmp_path):
+    sock = str(tmp_path / "svc.sock")
+    cache = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
+    with start_daemon_thread(socket_path=sock, workers=1,
+                             cache=cache) as handle:
+        filler = standalone_cpu_spec(429, "smoke", seed=9)
+        ServiceClient(sock).submit([filler], wait=False)
+        doomed = standalone_cpu_spec(433, "smoke", seed=9)
+        outs = ServiceClient(sock).submit([doomed], deadline=0.05)
+        assert not outs[0].ok
+        assert "deadline" in outs[0].error
+        assert handle.daemon.status()["jobs"]["expired"] == 1
+        # the filler was never affected
+        got = ServiceClient(sock).wait_for([filler])
+        assert got[0].ok

@@ -44,12 +44,17 @@ def test_ping_status_and_availability(daemon, tmp_path):
     sock, handle = daemon
     client = ServiceClient(sock)
     pong = client.ping()
-    assert pong["ok"] and pong["version"] == 1
+    assert pong["ok"] and pong["version"] == 2
     assert service_available(sock)
     assert not service_available(str(tmp_path / "nothing.sock"))
     status = client.status()
     assert status["jobs"]["submitted"] == 0
     assert status["workers"] == 2
+    # the fault-tolerance surface is reported
+    assert {"shed", "expired", "recovered"} <= set(status["jobs"])
+    assert status["max_queue"] == 256
+    assert status["journal"]["enabled"]
+    assert status["journal"]["sync"] == "batch"
 
 
 def test_submit_is_bit_identical_to_run_many(daemon, tmp_path):
@@ -203,6 +208,41 @@ def test_drain_refuses_new_work_and_stops_cleanly(tmp_path):
     fresh = ResultCache(root=str(tmp_path / "store"), salt="svc-test")
     result, source = fresh.get(SPECS[0])
     assert result is not None and source == "disk"
+
+
+def test_drain_is_idempotent_one_summary_one_salvage(tmp_path):
+    """Regression: repeated drain triggers (SIGTERM mashed, drain op +
+    signal) must not double-emit ``drain_summary`` or re-salvage the
+    queue."""
+    import json
+
+    from repro.metrics.oplog import configure as oplog_configure
+    from repro.metrics.oplog import disable as oplog_disable
+
+    log = tmp_path / "ops.jsonl"
+    oplog_configure(path=str(log))
+    try:
+        sock = str(tmp_path / "svc.sock")
+        cache = ResultCache(root=str(tmp_path / "store"),
+                            salt="svc-test")
+        handle = start_daemon_thread(socket_path=sock, workers=1,
+                                     cache=cache)
+        client = ServiceClient(sock)
+        client.submit([SPECS[0]], wait=False)   # running or queued
+        client.submit([SPECS[1]], wait=False)   # queued behind it
+        loop = handle.daemon._loop
+        for _ in range(3):
+            loop.call_soon_threadsafe(handle.daemon.begin_drain)
+        handle.stop()
+        handle.stop()                           # stop is idempotent too
+    finally:
+        oplog_disable()
+    events = [json.loads(ln)["event"]
+              for ln in log.read_text().splitlines()]
+    assert events.count("drain_summary") == 1
+    # each salvaged job was interrupted exactly once
+    assert events.count("interrupted") == \
+        handle.daemon.jobs_interrupted <= 2
 
 
 def test_stop_is_idempotent_and_socket_removed(tmp_path):

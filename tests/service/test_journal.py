@@ -1,0 +1,244 @@
+"""The crash-safe job journal: framing, replay, and daemon recovery.
+
+Unit level: append/replay roundtrips, torn-tail truncation, checksum
+quarantine, the sync-policy contract.  Integration level: a daemon
+started over a journal left behind by an "unclean death" re-enqueues
+orphans, serves already-completed keys from the store without
+re-executing, and reports what it recovered in ``status()``.
+"""
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from repro.exec import ResultCache, run_many, standalone_cpu_spec
+from repro.service import (JobJournal, JournalIntegrityWarning,
+                           start_daemon_thread)
+from repro.service.journal import _MAGIC, SYNC_POLICIES
+from repro.service import protocol
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+SPEC = standalone_cpu_spec(403, "smoke")
+OTHER = standalone_cpu_spec(429, "smoke")
+
+
+def _journal(tmp_path, sync="always"):
+    return JobJournal(str(tmp_path / "j.journal"), sync=sync)
+
+
+# -- unit: append / replay ---------------------------------------------------
+
+def test_append_replay_roundtrip(tmp_path):
+    j = _journal(tmp_path)
+    j.append("submitted", "k1", spec={"mix": "W8"}, client="c")
+    j.append("started", "k1")
+    j.append("done", "k1", ok=True)
+    j.append("submitted", "k2", spec={"mix": "W9"})
+    j.close()
+    replay = j.replay()
+    assert replay.records == 4
+    assert replay.corrupt == 0 and not replay.torn
+    assert replay.completed == 1
+    assert replay.recovered == 1
+    [orphan] = replay.orphans
+    assert orphan["key"] == "k2" and orphan["spec"] == {"mix": "W9"}
+
+
+def test_interrupted_is_terminal(tmp_path):
+    j = _journal(tmp_path)
+    j.append("submitted", "k", spec={})
+    j.append("interrupted", "k")
+    j.close()
+    replay = j.replay()
+    assert replay.interrupted == 1
+    assert replay.recovered == 0
+
+
+def test_missing_and_empty_journals_replay_clean(tmp_path):
+    j = _journal(tmp_path)
+    replay = j.replay()               # file never created
+    assert replay.records == 0 and not replay.torn
+    j.append("submitted", "k", spec={})
+    j.reset()                         # truncated to empty
+    replay = j.replay()
+    assert replay.records == 0 and replay.recovered == 0
+
+
+def test_torn_tail_truncated_and_appendable(tmp_path):
+    j = _journal(tmp_path)
+    j.append("submitted", "k1", spec={"mix": "W8"})
+    j.close()
+    good = os.path.getsize(j.path)
+    with open(j.path, "ab") as fh:    # crash mid-append: partial frame
+        fh.write(_MAGIC + (64).to_bytes(4, "big") + b"\x00" * 10)
+    replay = j.replay()
+    assert replay.torn
+    assert replay.records == 1 and replay.recovered == 1
+    assert os.path.getsize(j.path) == good == replay.valid_bytes
+    # the next append lands on a clean frame boundary
+    j.append("done", "k1", ok=True)
+    j.close()
+    again = j.replay()
+    assert not again.torn and again.completed == 1
+
+
+def test_checksum_corrupt_record_quarantined_with_warning(tmp_path):
+    j = _journal(tmp_path)
+    j.append("submitted", "k1", spec={"mix": "W8"})
+    j.append("submitted", "k2", spec={"mix": "W9"})
+    j.close()
+    with open(j.path, "rb") as fh:
+        blob = fh.read()
+    flip = blob.index(b"W8")          # payload byte: digest now wrong
+    with open(j.path, "wb") as fh:
+        fh.write(blob[:flip] + b"XX" + blob[flip + 2:])
+    with pytest.warns(JournalIntegrityWarning, match="checksum"):
+        replay = j.replay()
+    # one record lost, the next one survives intact
+    assert replay.corrupt == 1 and replay.records == 1
+    assert [o["key"] for o in replay.orphans] == ["k2"]
+
+
+def test_started_without_submitted_is_unrecoverable(tmp_path):
+    j = _journal(tmp_path)
+    j.append("started", "kx")
+    j.close()
+    with pytest.warns(JournalIntegrityWarning, match="cannot recover"):
+        replay = j.replay()
+    assert replay.corrupt == 1 and replay.recovered == 0
+
+
+def test_sync_policy_contract(tmp_path):
+    with pytest.raises(ValueError, match="journal sync"):
+        JobJournal(str(tmp_path / "x"), sync="sometimes")
+    j = _journal(tmp_path, sync="always")
+    j.append("submitted", "k", spec={})
+    assert j.fsyncs == 1              # fsync per record
+    j.close()
+    batched = JobJournal(str(tmp_path / "b"), sync="batch",
+                         batch_every=3)
+    for _ in range(2):
+        batched.append("started", "k")
+    assert batched.fsyncs == 0
+    batched.append("started", "k")
+    assert batched.fsyncs == 1        # every Nth append
+    batched.close()
+    assert SYNC_POLICIES == ("always", "batch", "off")
+
+
+def test_unknown_event_refused(tmp_path):
+    with pytest.raises(ValueError, match="unknown journal event"):
+        _journal(tmp_path).append("exploded", "k")
+
+
+def test_close_is_idempotent(tmp_path):
+    j = _journal(tmp_path)
+    j.append("submitted", "k", spec={})
+    j.close()
+    j.close()
+
+
+# -- integration: daemon startup replay --------------------------------------
+
+pytestmark_daemon = pytest.mark.skipif(not HAVE_FORK,
+                                       reason="needs fork start method")
+
+
+def _seed_store(tmp_path):
+    """A store dir + its journal path, as a dead daemon left them."""
+    store = str(tmp_path / "store")
+    cache = ResultCache(root=store, salt="svc-test")
+    return store, cache, os.path.join(store, "service.journal")
+
+
+def _settle(daemon, cond, timeout=120.0):
+    """Poll until ``cond(daemon)`` holds and the backlog is empty."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if cond(daemon) and daemon.queue_depth() == 0:
+            return
+        time.sleep(0.05)
+    raise TimeoutError("daemon did not settle")
+
+
+@pytestmark_daemon
+def test_daemon_replays_orphans_and_executes_them(tmp_path):
+    store, cache, jpath = _seed_store(tmp_path)
+    j = JobJournal(jpath, sync="always")
+    key = cache.key_for(SPEC)
+    j.append("submitted", key, spec=protocol.spec_to_wire(SPEC),
+             client="ghost")
+    j.append("started", key)          # died mid-run: still an orphan
+    j.close()
+    with start_daemon_thread(socket_path=str(tmp_path / "s.sock"),
+                             workers=1, cache=cache,
+                             journal_sync="always") as handle:
+        _settle(handle.daemon, lambda d: d.jobs_executed >= 1)
+        status = handle.daemon.status()
+        assert status["jobs"]["recovered"] == 1
+        assert status["journal"]["recovered"] == 1
+        assert handle.daemon.jobs_executed == 1
+    # the recovered result is bit-identical to a direct run
+    direct = run_many([SPEC], cache=ResultCache(
+        root=str(tmp_path / "direct"), salt="svc-test"))[0]
+    result, source = ResultCache(root=store, salt="svc-test").get(SPEC)
+    assert source == "disk"
+    assert dataclasses.asdict(result) == dataclasses.asdict(direct.result)
+
+
+@pytestmark_daemon
+def test_daemon_serves_completed_orphans_from_store(tmp_path):
+    """A key whose result already made it to the store is recovered
+    without re-execution — the cache check fields it."""
+    store, cache, jpath = _seed_store(tmp_path)
+    run_many([SPEC], cache=cache)     # result persisted before "death"
+    j = JobJournal(jpath, sync="always")
+    key = cache.key_for(SPEC)
+    j.append("submitted", key, spec=protocol.spec_to_wire(SPEC))
+    j.close()
+    with start_daemon_thread(socket_path=str(tmp_path / "s.sock"),
+                             workers=1, cache=cache,
+                             journal_sync="always") as handle:
+        _settle(handle.daemon, lambda d: d.cache_hits >= 1,
+                timeout=60)
+        assert handle.daemon.jobs_recovered == 1
+        assert handle.daemon.jobs_executed == 0      # no re-run
+        assert handle.daemon.cache_hits == 1
+
+
+@pytestmark_daemon
+def test_daemon_quarantines_corrupt_journal_without_dying(tmp_path):
+    store, cache, jpath = _seed_store(tmp_path)
+    j = JobJournal(jpath, sync="always")
+    j.append("submitted", cache.key_for(SPEC),
+             spec=protocol.spec_to_wire(SPEC))
+    j.append("submitted", cache.key_for(OTHER),
+             spec=protocol.spec_to_wire(OTHER))
+    j.close()
+    with open(jpath, "rb") as fh:
+        blob = fh.read()
+    with open(jpath, "wb") as fh:
+        fh.write(blob[:-4] + b"\x00\x00\x00\x00")
+    with start_daemon_thread(socket_path=str(tmp_path / "s.sock"),
+                             workers=1, cache=cache,
+                             journal_sync="always") as handle:
+        _settle(handle.daemon, lambda d: d.jobs_executed >= 1)
+        status = handle.daemon.status()["journal"]
+        assert status["corrupt"] == 1        # tail record quarantined
+        assert status["recovered"] == 1      # intact orphan still runs
+        assert handle.daemon.jobs_executed == 1
+
+
+@pytestmark_daemon
+def test_journal_disabled_runs_without_a_file(tmp_path):
+    store, cache, jpath = _seed_store(tmp_path)
+    with start_daemon_thread(socket_path=str(tmp_path / "s.sock"),
+                             workers=1, cache=cache,
+                             journal_sync="disabled") as handle:
+        assert handle.daemon.journal is None
+        assert handle.daemon.status()["journal"]["sync"] == "disabled"
+    assert not os.path.exists(jpath)

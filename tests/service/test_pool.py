@@ -156,6 +156,29 @@ def test_closed_pool_refuses_work():
     pool.close()                           # idempotent
 
 
+def test_recycle_under_load_keeps_pool_size_constant():
+    """Workers massacred while a queue of jobs flows through: every
+    death is detected, every slot respawned, and the pool ends at its
+    configured size with all survivors idle."""
+    with WorkerPool(size=2) as pool:
+        outcomes = {"died": 0, "ok": 0}
+        submitted = 0
+        jobs = [Suicide(), Echo(1), Suicide(), Echo(2), Echo(3),
+                Suicide(), Echo(4)]
+        while outcomes["died"] + outcomes["ok"] < len(jobs):
+            while submitted < len(jobs) and pool.idle_count() > 0:
+                pool.submit(submitted, jobs[submitted])
+                submitted += 1
+            for ev in drain(pool, 1):
+                outcomes["died" if ev.died else "ok"] += 1
+        assert outcomes == {"died": 3, "ok": 4}
+        assert pool.recycled == 3
+        assert len(pool.pids()) == 2       # capacity never shrank
+        assert pool.idle_count() == 2
+        pool.submit("after", Echo(9))      # and it still works
+        assert drain(pool, 1)[0].ok
+
+
 def test_run_many_with_pool_is_bit_identical(tmp_path):
     """The acceptance property: pooled execution returns the same
     RunResult dicts as the historical per-process path, and a repeat
